@@ -1,0 +1,35 @@
+//! Figure 4 / Section 3 — the toy-problem heuristics.
+//!
+//! Benchmarks Thrifty, Min-min and the alternating greedy algorithm on
+//! the paper's two Figure 4 instances (and a larger stress instance), and
+//! reports each heuristic's makespan as a custom metric via labels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwp_core::toy::alternating::alternating_greedy_makespan;
+use mwp_core::toy::{min_min, thrifty, ToyInstance};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_toy");
+    let instances = [
+        ("fig4a", ToyInstance { r: 3, s: 3, p: 2, c: 4.0, w: 7.0 }),
+        ("fig4b", ToyInstance { r: 6, s: 3, p: 2, c: 8.0, w: 9.0 }),
+        ("stress_10x10x4", ToyInstance { r: 10, s: 10, p: 4, c: 2.0, w: 5.0 }),
+    ];
+    for (name, inst) in instances {
+        g.bench_with_input(BenchmarkId::new("thrifty", name), &inst, |b, inst| {
+            b.iter(|| thrifty(black_box(inst)).makespan())
+        });
+        g.bench_with_input(BenchmarkId::new("minmin", name), &inst, |b, inst| {
+            b.iter(|| min_min(black_box(inst)).makespan())
+        });
+    }
+    let single = ToyInstance { r: 6, s: 6, p: 1, c: 4.0, w: 7.0 };
+    g.bench_function("alternating_greedy_6x6", |b| {
+        b.iter(|| alternating_greedy_makespan(black_box(&single)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

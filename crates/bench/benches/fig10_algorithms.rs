@@ -1,0 +1,41 @@
+//! Figure 10 — the seven-algorithm comparison on the three matrix shapes.
+//!
+//! Each benchmark simulates one (algorithm, shape) pair at the scaled
+//! problem size; the `experiments` binary runs the full paper sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwp_bench::calibrate::tennessee_platform;
+use mwp_blockmat::Partition;
+use mwp_core::algorithms::{simulate, AlgorithmKind};
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_algorithms");
+    g.sample_size(10);
+    let shapes = [
+        ("A_10x10x80", (10usize, 10usize, 80usize)),
+        ("B_20x20x160", (20, 20, 160)),
+        ("C_10x80x80", (10, 80, 80)),
+    ];
+    let pf = tennessee_platform(8, 80, 8);
+    for (label, (r, t, s)) in shapes {
+        let pr = Partition::from_blocks(r, s, t, 80);
+        for kind in AlgorithmKind::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), label),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| {
+                        simulate(kind, black_box(&pf), &pr)
+                            .expect("simulation succeeds")
+                            .makespan
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 11 — run-to-run variability under platform jitter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwp_bench::calibrate::jittered_platform;
+use mwp_blockmat::Partition;
+use mwp_core::algorithms::{simulate, AlgorithmKind};
+use std::hint::black_box;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_variation");
+    g.sample_size(10);
+    let pr = Partition::from_dims(800, 800, 6_400, 80);
+    g.bench_function("five_jittered_holm_runs", |b| {
+        b.iter(|| {
+            let mut max_gap: f64 = 0.0;
+            let mut min_t = f64::INFINITY;
+            let mut max_t: f64 = 0.0;
+            for seed in 0..5u64 {
+                let pf = jittered_platform(8, 80, 8, 0.03, black_box(seed));
+                let t = simulate(AlgorithmKind::HoLM, &pf, &pr)
+                    .expect("simulation succeeds")
+                    .makespan
+                    .value();
+                min_t = min_t.min(t);
+                max_t = max_t.max(t);
+            }
+            max_gap = max_gap.max((max_t - min_t) / min_t);
+            max_gap
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

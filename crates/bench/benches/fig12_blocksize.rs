@@ -1,0 +1,33 @@
+//! Figure 12 — impact of the block size q on algorithm performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwp_bench::calibrate::tennessee_platform;
+use mwp_blockmat::Partition;
+use mwp_core::algorithms::{simulate, AlgorithmKind};
+use std::hint::black_box;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_blocksize");
+    g.sample_size(10);
+    for q in [40usize, 80] {
+        let pf = tennessee_platform(8, q, 8);
+        let pr = Partition::from_dims(800, 800, 6_400, q);
+        for kind in [AlgorithmKind::HoLM, AlgorithmKind::BMM] {
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("q{q}")),
+                &q,
+                |b, _| {
+                    b.iter(|| {
+                        simulate(kind, black_box(&pf), &pr)
+                            .expect("simulation succeeds")
+                            .makespan
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

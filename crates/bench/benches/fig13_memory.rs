@@ -1,0 +1,35 @@
+//! Figure 13 — impact of worker memory on performance and on resource
+//! selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwp_bench::calibrate::tennessee_platform;
+use mwp_blockmat::Partition;
+use mwp_core::algorithms::{simulate, AlgorithmKind};
+use std::hint::black_box;
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_memory");
+    g.sample_size(10);
+    let pr = Partition::from_dims(1_600, 1_600, 6_400, 80);
+    // 4–16 MB scaled sweep (same µ-growth shape as the paper's 132–512).
+    for mem_mb in [4usize, 8, 12, 16] {
+        let pf = tennessee_platform(8, 80, mem_mb);
+        for kind in [AlgorithmKind::HoLM, AlgorithmKind::ORROML, AlgorithmKind::BMM] {
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("{mem_mb}MB")),
+                &mem_mb,
+                |b, _| {
+                    b.iter(|| {
+                        simulate(kind, black_box(&pf), &pr)
+                            .expect("simulation succeeds")
+                            .makespan
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

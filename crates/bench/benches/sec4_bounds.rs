@@ -1,0 +1,40 @@
+//! Section 4 — the maximum re-use algorithm against its lower bound.
+//!
+//! Benchmarks the single-worker maximum re-use schedule (whose measured
+//! CCR the experiments compare against `2/t + 2/µ` and `sqrt(27/8m)`)
+//! across a sweep of memory sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwp_blockmat::Partition;
+use mwp_core::algorithms::{simulate, AlgorithmKind};
+use mwp_core::bounds;
+use mwp_platform::Platform;
+use std::hint::black_box;
+
+fn bench_max_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec4_max_reuse");
+    for m in [21usize, 60, 140, 396] {
+        let pf = Platform::homogeneous(1, 1.0, 1.0, m).expect("valid");
+        let pr = Partition::from_blocks(12, 12, 24, 80);
+        g.bench_with_input(BenchmarkId::new("single_worker_sim", m), &m, |b, _| {
+            b.iter(|| {
+                let report = simulate(AlgorithmKind::ORROML, black_box(&pf), &pr).unwrap();
+                report.measured_ccr()
+            })
+        });
+    }
+    g.bench_function("bound_chain_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in 5..2000usize {
+                acc += bounds::lower_bound_loomis_whitney(black_box(m))
+                    + bounds::ccr_max_reuse_asymptotic(m);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_max_reuse);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Section 7 — the LU factorization extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwp_blockmat::fill::random_diagonally_dominant;
+use mwp_lu::cost::LuProblem;
+use mwp_lu::heterogeneous::best_pivot_size;
+use mwp_lu::homogeneous::simulate_homogeneous_lu;
+use mwp_lu::single::factor_single;
+use mwp_platform::{Platform, WorkerParams};
+use std::hint::black_box;
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec7_lu");
+    g.sample_size(10);
+
+    // Cost-model evaluation across pivot sizes.
+    g.bench_function("cost_model_sweep_r120", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for mu in [2usize, 3, 4, 5, 6, 8, 10, 12] {
+                acc += LuProblem::new(black_box(120), mu).total().comm;
+            }
+            acc
+        })
+    });
+
+    // Homogeneous parallel LU simulation.
+    let pf = Platform::homogeneous(8, 0.5, 4.0, 200).expect("valid");
+    for r in [24usize, 48] {
+        g.bench_with_input(BenchmarkId::new("homogeneous_sim", r), &r, |b, &r| {
+            b.iter(|| {
+                simulate_homogeneous_lu(black_box(&pf), LuProblem::new(r, 4))
+                    .expect("LU sim")
+                    .0
+                    .makespan
+            })
+        });
+    }
+
+    // Heterogeneous exhaustive µ search.
+    let het = Platform::new(vec![
+        WorkerParams::new(1.0, 1.0, 400),
+        WorkerParams::new(1.5, 0.8, 300),
+        WorkerParams::new(2.0, 1.2, 500),
+    ])
+    .expect("valid");
+    g.bench_function("heterogeneous_mu_search_r60", |b| {
+        b.iter(|| best_pivot_size(black_box(&het), 60))
+    });
+
+    // Real arithmetic: the single-worker blocked factorization.
+    let matrix = random_diagonally_dominant(4, 20, 7); // 80×80 elements
+    g.bench_function("numeric_blocked_lu_80", |b| {
+        b.iter(|| factor_single(black_box(&matrix), 2))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_lu);
+criterion_main!(benches);

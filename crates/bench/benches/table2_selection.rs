@@ -1,0 +1,45 @@
+//! Table 2 / Figures 7–8 — the incremental selection algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwp_core::selection::incremental::{asymptotic_ratio, run_selection_with_mu, SelectionRule};
+use mwp_platform::{Platform, WorkerParams};
+use std::hint::black_box;
+
+fn table2() -> (Platform, Vec<usize>) {
+    let pf = Platform::new(vec![
+        WorkerParams::new(2.0, 2.0, 60),
+        WorkerParams::new(3.0, 3.0, 396),
+        WorkerParams::new(5.0, 1.0, 140),
+    ])
+    .expect("valid");
+    (pf, vec![6, 18, 10])
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let (pf, mu) = table2();
+    let mut g = c.benchmark_group("table2_selection");
+    for rule in [
+        SelectionRule::Global,
+        SelectionRule::Local,
+        SelectionRule::TwoStepLookahead,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("asymptotic_ratio", format!("{rule:?}")),
+            &rule,
+            |b, &rule| {
+                b.iter(|| asymptotic_ratio(black_box(&pf), &mu, rule, 100_000))
+            },
+        );
+    }
+    g.bench_function("full_allocation_36x72", |b| {
+        b.iter(|| {
+            run_selection_with_mu(black_box(&pf), &mu, SelectionRule::Global, 36, 72, 16)
+                .steps
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

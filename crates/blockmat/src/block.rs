@@ -1,0 +1,306 @@
+//! A single `q × q` block of matrix coefficients.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// One square `q × q` block of `f64` coefficients, stored contiguously in
+/// row-major order.
+///
+/// Blocks are the unit of communication (cost `c_i` per block) and of
+/// computation (one *block update* `C += A·B` costs `w_i`). `q` is chosen
+/// large enough (80–100) that the `O(q³)` update amortizes per-message and
+/// per-call overheads — the Level-3 BLAS effect.
+#[derive(Clone, PartialEq)]
+pub struct Block {
+    q: usize,
+    data: Vec<f64>,
+}
+
+/// Tile side for the cache-blocked GEMM micro-kernel. 32×32 f64 tiles
+/// (3 × 8 KiB working set) stay comfortably within L1 on all mainstream
+/// CPUs.
+const TILE: usize = 32;
+
+impl Block {
+    /// A zero block of side `q`.
+    pub fn zeros(q: usize) -> Self {
+        assert!(q > 0, "block side must be positive");
+        Block { q, data: vec![0.0; q * q] }
+    }
+
+    /// An identity block of side `q`.
+    pub fn identity(q: usize) -> Self {
+        let mut b = Block::zeros(q);
+        for i in 0..q {
+            b[(i, i)] = 1.0;
+        }
+        b
+    }
+
+    /// Build from a row-major coefficient vector (length must be `q²`).
+    pub fn from_vec(q: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), q * q, "coefficient count must be q²");
+        Block { q, data }
+    }
+
+    /// Block side `q`.
+    #[inline]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Raw coefficients, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw coefficients, row-major.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Size of this block in bytes when serialized (payload only).
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// `self += other`, element-wise.
+    pub fn add_assign_block(&mut self, other: &Block) {
+        assert_eq!(self.q, other.q, "block sides must match");
+        for (d, s) in self.data.iter_mut().zip(other.data.iter()) {
+            *d += *s;
+        }
+    }
+
+    /// Scale every coefficient by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for d in &mut self.data {
+            *d *= alpha;
+        }
+    }
+
+    /// The block update `self += a · b` — the paper's unit of computation.
+    ///
+    /// Uses a cache-tiled i-k-j loop nest: the inner loop is a contiguous
+    /// axpy over a row of `b` and a row of `self`, which LLVM vectorizes.
+    pub fn gemm_acc(&mut self, a: &Block, b: &Block) {
+        let q = self.q;
+        assert_eq!(a.q, q, "A side must match C");
+        assert_eq!(b.q, q, "B side must match C");
+        let av = &a.data;
+        let bv = &b.data;
+        let cv = &mut self.data;
+        let mut ii = 0;
+        while ii < q {
+            let i_end = (ii + TILE).min(q);
+            let mut kk = 0;
+            while kk < q {
+                let k_end = (kk + TILE).min(q);
+                for i in ii..i_end {
+                    let crow = &mut cv[i * q..(i + 1) * q];
+                    for k in kk..k_end {
+                        let aik = av[i * q + k];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &bv[k * q..(k + 1) * q];
+                        for (cj, bj) in crow.iter_mut().zip(brow.iter()) {
+                            *cj += aik * *bj;
+                        }
+                    }
+                }
+                kk = k_end;
+            }
+            ii = i_end;
+        }
+    }
+
+    /// Reference (naive triple-loop) block update, used as ground truth in
+    /// tests of the tiled kernel.
+    pub fn gemm_acc_naive(&mut self, a: &Block, b: &Block) {
+        let q = self.q;
+        assert_eq!(a.q, q);
+        assert_eq!(b.q, q);
+        for i in 0..q {
+            for j in 0..q {
+                let mut acc = 0.0;
+                for k in 0..q {
+                    acc += a.data[i * q + k] * b.data[k * q + j];
+                }
+                self.data[i * q + j] += acc;
+            }
+        }
+    }
+
+    /// Maximum absolute coefficient (infinity norm over elements).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Maximum absolute difference against another block.
+    pub fn max_abs_diff(&self, other: &Block) -> f64 {
+        assert_eq!(self.q, other.q);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0_f64, |m, (&x, &y)| m.max((x - y).abs()))
+    }
+
+    /// Serialize to little-endian bytes (for the message layer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len());
+        for v in &self.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from little-endian bytes produced by [`Block::to_bytes`].
+    pub fn from_bytes(q: usize, bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), q * q * 8, "byte length must be 8q²");
+        let data = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
+        Block { q, data }
+    }
+}
+
+impl Index<(usize, usize)> for Block {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.q + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Block {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.q + j]
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block(q={}, |x|max={:.3e})", self.q, self.max_abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn seq_block(q: usize, start: f64) -> Block {
+        Block::from_vec(q, (0..q * q).map(|i| start + i as f64).collect())
+    }
+
+    #[test]
+    fn identity_is_neutral_for_gemm() {
+        let q = 17;
+        let a = seq_block(q, 1.0);
+        let id = Block::identity(q);
+        let mut c = Block::zeros(q);
+        c.gemm_acc(&a, &id);
+        assert_eq!(c, a);
+        let mut c = Block::zeros(q);
+        c.gemm_acc(&id, &a);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn gemm_accumulates() {
+        let q = 8;
+        let a = Block::identity(q);
+        let b = seq_block(q, 2.0);
+        let mut c = seq_block(q, 5.0);
+        let expected: Vec<f64> = c
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x + y)
+            .collect();
+        c.gemm_acc(&a, &b);
+        assert_eq!(c.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn tiled_matches_naive_on_odd_sizes() {
+        // Sides that are not multiples of the tile exercise edge handling.
+        for q in [1, 2, 3, 31, 32, 33, 47, 80] {
+            let a = seq_block(q, 0.5);
+            let b = seq_block(q, -3.0);
+            let mut c1 = seq_block(q, 1.0);
+            let mut c2 = c1.clone();
+            c1.gemm_acc(&a, &b);
+            c2.gemm_acc_naive(&a, &b);
+            assert!(
+                c1.max_abs_diff(&c2) <= 1e-6 * c2.max_abs().max(1.0),
+                "q = {q}: tiled and naive kernels diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let b = seq_block(13, -7.25);
+        let bytes = b.to_bytes();
+        assert_eq!(bytes.len(), b.byte_len());
+        let back = Block::from_bytes(13, &bytes);
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let mut b = Block::zeros(4);
+        b[(1, 2)] = 9.0;
+        assert_eq!(b.as_slice()[4 + 2], 9.0);
+        assert_eq!(b[(1, 2)], 9.0);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = seq_block(5, 1.0);
+        let b = seq_block(5, 1.0);
+        a.add_assign_block(&b);
+        a.scale(0.5);
+        let expected = seq_block(5, 1.0);
+        assert!(a.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "q²")]
+    fn from_vec_rejects_wrong_len() {
+        let _ = Block::from_vec(3, vec![0.0; 8]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tiled_equals_naive(q in 1usize..40, seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut gen = |q: usize| {
+                Block::from_vec(q, (0..q*q).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            };
+            let a = gen(q);
+            let b = gen(q);
+            let mut c1 = gen(q);
+            let mut c2 = c1.clone();
+            c1.gemm_acc(&a, &b);
+            c2.gemm_acc_naive(&a, &b);
+            prop_assert!(c1.max_abs_diff(&c2) <= 1e-9);
+        }
+
+        #[test]
+        fn prop_byte_roundtrip(q in 1usize..24, seed in 0u64..1000) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let b = Block::from_vec(q, (0..q*q).map(|_| rng.gen::<f64>()).collect());
+            prop_assert_eq!(Block::from_bytes(q, &b.to_bytes()), b);
+        }
+    }
+}

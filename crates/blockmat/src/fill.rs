@@ -1,0 +1,74 @@
+//! Seeded random fills for test and benchmark matrices.
+
+use crate::block::Block;
+use crate::matrix::BlockMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fill a fresh `rows × cols` block matrix with uniform coefficients in
+/// `[-1, 1]`, deterministically from `seed`.
+pub fn random_matrix(rows: usize, cols: usize, q: usize, seed: u64) -> BlockMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BlockMatrix::from_fn(rows, cols, q, |_, _| random_block_with(&mut rng, q))
+}
+
+/// One random block in `[-1, 1]` from an existing RNG.
+pub fn random_block_with(rng: &mut StdRng, q: usize) -> Block {
+    Block::from_vec(q, (0..q * q).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+/// One random block in `[-1, 1]` from a seed.
+pub fn random_block(q: usize, seed: u64) -> Block {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_block_with(&mut rng, q)
+}
+
+/// A diagonally dominant random square block matrix of `n × n` blocks —
+/// guaranteed to admit LU factorization without pivoting (every leading
+/// principal minor is nonsingular), which matches the paper's Section 7
+/// kernel (it never discusses pivoting across workers).
+pub fn random_diagonally_dominant(n: usize, q: usize, seed: u64) -> BlockMatrix {
+    let mut m = random_matrix(n, n, q, seed);
+    let dim = n * q;
+    // Row sums are bounded by `dim` in absolute value; adding `dim + 1` on
+    // the diagonal makes the matrix strictly diagonally dominant.
+    let boost = dim as f64 + 1.0;
+    for d in 0..dim {
+        let v = m.get(d, d);
+        m.set(d, d, v + boost);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = random_matrix(3, 2, 8, 99);
+        let b = random_matrix(3, 2, 8, 99);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        let c = random_matrix(3, 2, 8, 100);
+        assert!(a.max_abs_diff(&c) > 0.0);
+    }
+
+    #[test]
+    fn coefficients_in_range() {
+        let m = random_matrix(2, 2, 16, 1);
+        assert!(m.max_abs() <= 1.0);
+    }
+
+    #[test]
+    fn diagonally_dominant_really_is() {
+        let n = 2;
+        let q = 6;
+        let m = random_diagonally_dominant(n, q, 5);
+        let dim = n * q;
+        for i in 0..dim {
+            let diag = m.get(i, i).abs();
+            let off: f64 = (0..dim).filter(|&j| j != i).map(|j| m.get(i, j).abs()).sum();
+            assert!(diag > off, "row {i} not dominant: {diag} <= {off}");
+        }
+    }
+}

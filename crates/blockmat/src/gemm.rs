@@ -1,0 +1,159 @@
+//! Whole-matrix multiplication: the ground truth the master-worker runtime
+//! is verified against, in serial and rayon-parallel flavours.
+
+use crate::matrix::BlockMatrix;
+use rayon::prelude::*;
+
+/// Serial `C ← C + A × B` at the block level.
+///
+/// Panics if the block shapes do not conform (`A : r × t`, `B : t × s`,
+/// `C : r × s`, equal `q`).
+pub fn gemm_serial(c: &mut BlockMatrix, a: &BlockMatrix, b: &BlockMatrix) {
+    check_conformance(c, a, b);
+    let t = a.cols();
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            let cij = c.block_mut(i, j);
+            for k in 0..t {
+                cij.gemm_acc(a.block(i, k), b.block(k, j));
+            }
+        }
+    }
+}
+
+/// Rayon-parallel `C ← C + A × B`: each C block is an independent task, so
+/// this is an embarrassingly parallel loop over `r·s` block dot-products.
+///
+/// Results are bit-identical to [`gemm_serial`] — both accumulate over `k`
+/// in increasing order within each C block, and C blocks never share state.
+pub fn gemm_parallel(c: &mut BlockMatrix, a: &BlockMatrix, b: &BlockMatrix) {
+    check_conformance(c, a, b);
+    let t = a.cols();
+    let cols = c.cols();
+    // Split the C grid into rows and parallelize over (row index, row data).
+    // We rebuild via from_fn to avoid unsafe aliasing of the block store.
+    let computed: Vec<crate::block::Block> = (0..c.rows() * cols)
+        .into_par_iter()
+        .map(|idx| {
+            let i = idx / cols;
+            let j = idx % cols;
+            let mut cij = c.block(i, j).clone();
+            for k in 0..t {
+                cij.gemm_acc(a.block(i, k), b.block(k, j));
+            }
+            cij
+        })
+        .collect();
+    for (idx, blk) in computed.into_iter().enumerate() {
+        c.set_block(idx / cols, idx % cols, blk);
+    }
+}
+
+/// `C ← C + A × B` into a fresh zero C, serial.
+pub fn multiply(a: &BlockMatrix, b: &BlockMatrix) -> BlockMatrix {
+    let mut c = BlockMatrix::zeros(a.rows(), b.cols(), a.q());
+    gemm_serial(&mut c, a, b);
+    c
+}
+
+fn check_conformance(c: &BlockMatrix, a: &BlockMatrix, b: &BlockMatrix) {
+    assert_eq!(a.q(), b.q(), "A and B block sides differ");
+    assert_eq!(a.q(), c.q(), "A and C block sides differ");
+    assert_eq!(a.cols(), b.rows(), "inner block dimensions differ");
+    assert_eq!(c.rows(), a.rows(), "C rows must match A rows");
+    assert_eq!(c.cols(), b.cols(), "C cols must match B cols");
+}
+
+/// Verify `c ≈ c0 + a·b` within `tol`, returning the max abs deviation.
+pub fn verify_product(
+    c: &BlockMatrix,
+    c0: &BlockMatrix,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    tol: f64,
+) -> Result<f64, f64> {
+    let mut expected = c0.clone();
+    gemm_serial(&mut expected, a, b);
+    let err = c.max_abs_diff(&expected);
+    if err <= tol {
+        Ok(err)
+    } else {
+        Err(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fill::random_matrix;
+    use proptest::prelude::*;
+
+    #[test]
+    fn multiply_by_identity() {
+        let a = random_matrix(3, 4, 8, 11);
+        let id = BlockMatrix::identity(4, 8);
+        let c = multiply(&a, &id);
+        assert!(c.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let a = random_matrix(4, 6, 16, 3);
+        let b = random_matrix(6, 5, 16, 4);
+        let mut c1 = random_matrix(4, 5, 16, 5);
+        let mut c2 = c1.clone();
+        gemm_serial(&mut c1, &a, &b);
+        gemm_parallel(&mut c2, &a, &b);
+        assert_eq!(c1.max_abs_diff(&c2), 0.0, "must be bit-identical");
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = random_matrix(2, 2, 4, 6);
+        let b = random_matrix(2, 2, 4, 7);
+        let c0 = random_matrix(2, 2, 4, 8);
+        let mut c = c0.clone();
+        gemm_serial(&mut c, &a, &b);
+        assert!(verify_product(&c, &c0, &a, &b, 1e-12).is_ok());
+        // Against a zero baseline it must fail (c0 contribution missing).
+        let zero = BlockMatrix::zeros(2, 2, 4);
+        assert!(verify_product(&c, &zero, &a, &b, 1e-9).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner block dimensions")]
+    fn conformance_checked() {
+        let a = random_matrix(2, 3, 4, 0);
+        let b = random_matrix(2, 2, 4, 1);
+        let _ = multiply(&a, &b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_associativity_with_identity(r in 1usize..4, s in 1usize..4, t in 1usize..4, seed in 0u64..100) {
+            // (A·I)·B == A·(I·B) == A·B for conforming shapes.
+            let q = 4;
+            let a = random_matrix(r, t, q, seed);
+            let b = random_matrix(t, s, q, seed + 1);
+            let idt = BlockMatrix::identity(t, q);
+            let ab = multiply(&a, &b);
+            let ai_b = multiply(&multiply(&a, &idt), &b);
+            let a_ib = multiply(&a, &multiply(&idt, &b));
+            prop_assert!(ab.max_abs_diff(&ai_b) < 1e-10);
+            prop_assert!(ab.max_abs_diff(&a_ib) < 1e-10);
+        }
+
+        #[test]
+        fn prop_parallel_equals_serial(r in 1usize..4, s in 1usize..4, t in 1usize..4, seed in 0u64..100) {
+            let q = 8;
+            let a = random_matrix(r, t, q, seed);
+            let b = random_matrix(t, s, q, seed + 1);
+            let mut c1 = random_matrix(r, s, q, seed + 2);
+            let mut c2 = c1.clone();
+            gemm_serial(&mut c1, &a, &b);
+            gemm_parallel(&mut c2, &a, &b);
+            prop_assert_eq!(c1.max_abs_diff(&c2), 0.0);
+        }
+    }
+}

@@ -1,0 +1,634 @@
+//! Threaded execution of the paper's homogeneous algorithm with real
+//! arithmetic.
+//!
+//! This is the counterpart of the MPI programs behind Section 8: the
+//! master (the calling thread) runs Algorithm 1 — resource selection,
+//! C-chunk distribution, per-step `B` row + `A` block streaming, result
+//! collection — over the [`mwp_msg`] message layer, while each worker
+//! thread runs Algorithm 2 — receive, update its resident `µ × µ` C chunk
+//! with real `q × q` block GEMMs, return the chunk.
+//!
+//! With `time_scale = 0` the network is un-paced and the run completes as
+//! fast as the arithmetic allows (used by tests, which verify the result
+//! against the serial product). A positive `time_scale` paces every link
+//! at `c_i` model-seconds per block so wall-clock measurements reflect the
+//! platform calibration.
+
+use crate::chunks::{self, Chunk};
+use crate::selection::homogeneous::select_homogeneous;
+use bytes::Bytes;
+use mwp_blockmat::{Block, BlockMatrix};
+use mwp_msg::{Frame, FrameKind, StarNetwork, Tag, WorkerEndpoint};
+use mwp_platform::{Platform, WorkerId};
+use std::collections::HashMap;
+use std::thread;
+use std::time::Instant;
+
+/// Outcome of a runtime execution.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The updated C matrix (`C + A·B`).
+    pub c: BlockMatrix,
+    /// Wall-clock duration of the whole run.
+    pub wall: std::time::Duration,
+    /// Total matrix blocks moved through the master port (both ways).
+    pub blocks_moved: u64,
+    /// Number of workers enrolled by resource selection.
+    pub workers_used: usize,
+    /// Chunk side µ (or ν) used.
+    pub chunk_side: usize,
+}
+
+/// Errors from the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The runtime implements the homogeneous algorithms.
+    HeterogeneousPlatform,
+    /// Memory too small for µ = 1.
+    MemoryTooSmall {
+        /// Rejected buffer count.
+        m: usize,
+    },
+    /// Non-conforming matrix shapes.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::HeterogeneousPlatform => {
+                write!(f, "runtime requires a homogeneous platform")
+            }
+            RuntimeError::MemoryTooSmall { m } => {
+                write!(f, "memory of {m} blocks cannot host µ = 1")
+            }
+            RuntimeError::ShapeMismatch => write!(f, "matrix shapes do not conform"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Execute `C ← C + A·B` with the paper's homogeneous algorithm (HoLM:
+/// resource selection + round-robin chunk distribution).
+pub fn run_holm(
+    platform: &Platform,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    c: BlockMatrix,
+    time_scale: f64,
+) -> Result<RunOutcome, RuntimeError> {
+    run_inner(platform, a, b, c, time_scale, true)
+}
+
+/// Same, but enrolling every worker (the ORROML variant) — useful to
+/// measure what resource selection buys.
+pub fn run_all_workers(
+    platform: &Platform,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    c: BlockMatrix,
+    time_scale: f64,
+) -> Result<RunOutcome, RuntimeError> {
+    run_inner(platform, a, b, c, time_scale, false)
+}
+
+fn run_inner(
+    platform: &Platform,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    mut c: BlockMatrix,
+    time_scale: f64,
+    select: bool,
+) -> Result<RunOutcome, RuntimeError> {
+    let params = platform
+        .homogeneous_params()
+        .ok_or(RuntimeError::HeterogeneousPlatform)?;
+    if a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols() || a.q() != b.q() {
+        return Err(RuntimeError::ShapeMismatch);
+    }
+    let q = a.q();
+    let (r, t, s) = (a.rows(), a.cols(), b.cols());
+
+    let sel = select_homogeneous(&params, platform.len(), r, s);
+    let (enrolled, mu) = if select {
+        (sel.workers, sel.chunk_side)
+    } else {
+        let mu = crate::layout::MemoryLayout::MaxReuseOverlapped.mu(params.m);
+        if mu == 0 {
+            return Err(RuntimeError::MemoryTooSmall { m: params.m });
+        }
+        (platform.len(), mu)
+    };
+    if mu == 0 {
+        return Err(RuntimeError::MemoryTooSmall { m: params.m });
+    }
+
+    // Wire the star and spawn Algorithm 2 on each enrolled worker.
+    let (master, workers) = StarNetwork::build(platform, time_scale).into_endpoints();
+    let memory_cap = params.m;
+    let handles: Vec<_> = workers
+        .into_iter()
+        .take(enrolled)
+        .map(|ep| {
+            thread::spawn(move || worker_main(ep, q, memory_cap))
+        })
+        .collect();
+    // Unenrolled workers' endpoints dropped: their channels just close.
+
+    let start = Instant::now();
+    let problem = mwp_blockmat::Partition::from_blocks(r, s, t, q);
+    let mut tiles = chunks::tile(&problem, mu);
+    let band = (mu * enrolled).max(1);
+    tiles.sort_by_key(|ch| (ch.j0 / band, ch.i0, ch.j0));
+
+    // Algorithm 1: process chunks in groups of `enrolled`, one per worker.
+    for group in tiles.chunks(enrolled) {
+        let assignment: Vec<(WorkerId, &Chunk)> = group
+            .iter()
+            .enumerate()
+            .map(|(idx, ch)| (WorkerId(idx), ch))
+            .collect();
+
+        // 1. Ship each worker its C chunk.
+        for &(wid, ch) in &assignment {
+            for i in ch.rows() {
+                for j in ch.cols() {
+                    let payload = Bytes::from(c.block(i, j).to_bytes());
+                    master.send(wid, Frame::new(Tag::new(FrameKind::BlockC, i, j), payload), 1);
+                }
+            }
+        }
+        // 2. Stream the shared dimension.
+        for k in 0..t {
+            for &(wid, ch) in &assignment {
+                for j in ch.cols() {
+                    let payload = Bytes::from(b.block(k, j).to_bytes());
+                    master.send(wid, Frame::new(Tag::new(FrameKind::BlockB, k, j), payload), 1);
+                }
+                for i in ch.rows() {
+                    let payload = Bytes::from(a.block(i, k).to_bytes());
+                    master.send(wid, Frame::new(Tag::new(FrameKind::BlockA, i, k), payload), 1);
+                }
+            }
+        }
+        // 3. Collect results.
+        for &(wid, ch) in &assignment {
+            master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
+            for _ in 0..ch.blocks() {
+                let (frame, _) = master.recv(wid, 1).expect("worker died mid-chunk");
+                debug_assert_eq!(frame.tag.kind, FrameKind::CResult);
+                let (i, j) = (frame.tag.i as usize, frame.tag.j as usize);
+                c.set_block(i, j, Block::from_bytes(q, &frame.payload));
+            }
+        }
+    }
+
+    // Orderly shutdown.
+    for idx in 0..enrolled {
+        master.send(WorkerId(idx), Frame::shutdown(), 0);
+    }
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    let wall = start.elapsed();
+    let blocks_moved = master.total_blocks();
+
+    Ok(RunOutcome { c, wall, blocks_moved, workers_used: enrolled, chunk_side: mu })
+}
+
+/// Execute `C ← C + A·B` on a **heterogeneous** platform with the
+/// two-phase scheme of Section 6.2: phase 1 runs the incremental
+/// selection (each selection of `P_i` stands for one step of its resident
+/// `µ_i × µ_i` chunk), phase 2 replays it with real blocks — chunk sizes
+/// differ per worker, and the master interleaves the per-step `B` row +
+/// `A` column messages in exactly the order the selection produced.
+pub fn run_heterogeneous(
+    platform: &Platform,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    mut c: BlockMatrix,
+    rule: crate::selection::incremental::SelectionRule,
+    time_scale: f64,
+) -> Result<RunOutcome, RuntimeError> {
+    use crate::layout::MemoryLayout;
+    use crate::selection::incremental::run_selection_with_mu;
+
+    if a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols() || a.q() != b.q() {
+        return Err(RuntimeError::ShapeMismatch);
+    }
+    let q = a.q();
+    let (r, t, s) = (a.rows(), a.cols(), b.cols());
+    let mu: Vec<usize> = platform
+        .workers()
+        .iter()
+        .map(|w| MemoryLayout::MaxReuseOverlapped.mu(w.m))
+        .collect();
+    if mu.iter().all(|&m| m == 0) {
+        return Err(RuntimeError::MemoryTooSmall {
+            m: platform.workers().iter().map(|w| w.m).min().unwrap_or(0),
+        });
+    }
+
+    // Phase 1: the selection order (one entry = one k-step for that
+    // worker's current chunk).
+    let trace = run_selection_with_mu(platform, &mu, rule, r, s, t);
+
+    // Phase 2: replay with real blocks. Chunks are cut greedily from the
+    // C grid in column-band order, clamped to each worker's µ_i.
+    let (master, workers) = StarNetwork::build(platform, time_scale).into_endpoints();
+    let handles: Vec<_> = platform
+        .iter()
+        .zip(workers)
+        .map(|((_, params), ep)| {
+            let cap = params.m;
+            thread::spawn(move || worker_main(ep, q, cap))
+        })
+        .collect();
+
+    let start = Instant::now();
+    // The paper "assigns only full matrix column blocks": each worker owns
+    // a group of µ_i consecutive block columns at a time and walks down it
+    // in µ_i-row chunks. A single shared column cursor hands out disjoint
+    // groups, so chunks never overlap even with different µ_i.
+    struct ColumnGroup {
+        j0: usize,
+        width: usize,
+        row: usize,
+    }
+    let mut next_col = 0usize;
+    let mut groups: Vec<Option<ColumnGroup>> = (0..platform.len()).map(|_| None).collect();
+    // Per-worker state: current chunk and its next k-step.
+    let mut active: Vec<Option<(Chunk, usize)>> = vec![None; platform.len()];
+    let mut served = std::collections::HashSet::new();
+
+    let cut_chunk = |wi: usize,
+                         mu_i: usize,
+                         groups: &mut Vec<Option<ColumnGroup>>,
+                         next_col: &mut usize|
+     -> Option<Chunk> {
+        let need_new = match &groups[wi] {
+            Some(g) => g.row >= r,
+            None => true,
+        };
+        if need_new {
+            if *next_col >= s {
+                groups[wi] = None;
+                return None;
+            }
+            let width = mu_i.min(s - *next_col);
+            groups[wi] = Some(ColumnGroup { j0: *next_col, width, row: 0 });
+            *next_col += width;
+        }
+        let g = groups[wi].as_mut().expect("just ensured");
+        let height = mu_i.min(r - g.row);
+        let ch = Chunk { i0: g.row, j0: g.j0, height, width: g.width };
+        g.row += height;
+        Some(ch)
+    };
+
+    for step in &trace.steps {
+        let wid = step.worker;
+        let wi = wid.index();
+        if active[wi].is_none() {
+            // New chunk for this worker.
+            let Some(ch) = cut_chunk(wi, mu[wi], &mut groups, &mut next_col) else {
+                continue; // grid exhausted: surplus selections are no-ops
+            };
+            for i in ch.rows() {
+                for j in ch.cols() {
+                    let payload = Bytes::from(c.block(i, j).to_bytes());
+                    master.send(wid, Frame::new(Tag::new(FrameKind::BlockC, i, j), payload), 1);
+                }
+            }
+            active[wi] = Some((ch, 0));
+        }
+        let (ch, k) = active[wi].expect("just assigned");
+        // One k-step: B row then A column for this chunk.
+        for j in ch.cols() {
+            let payload = Bytes::from(b.block(k, j).to_bytes());
+            master.send(wid, Frame::new(Tag::new(FrameKind::BlockB, k, j), payload), 1);
+        }
+        for i in ch.rows() {
+            let payload = Bytes::from(a.block(i, k).to_bytes());
+            master.send(wid, Frame::new(Tag::new(FrameKind::BlockA, i, k), payload), 1);
+        }
+        served.insert(wi);
+        if k + 1 == t {
+            // Chunk complete: fetch it back.
+            master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
+            for _ in 0..ch.blocks() {
+                let (frame, _) = master.recv(wid, 1).expect("worker died mid-chunk");
+                let (i, j) = (frame.tag.i as usize, frame.tag.j as usize);
+                c.set_block(i, j, Block::from_bytes(q, &frame.payload));
+            }
+            active[wi] = None;
+        } else {
+            active[wi] = Some((ch, k + 1));
+        }
+    }
+
+    // Selection stopped (its column-based termination test), possibly
+    // mid-chunk: stream the remaining steps of every unfinished chunk.
+    for wi in 0..platform.len() {
+        let Some((ch, k0)) = active[wi] else { continue };
+        let wid = mwp_platform::WorkerId(wi);
+        for k in k0..t {
+            for j in ch.cols() {
+                let payload = Bytes::from(b.block(k, j).to_bytes());
+                master.send(wid, Frame::new(Tag::new(FrameKind::BlockB, k, j), payload), 1);
+            }
+            for i in ch.rows() {
+                let payload = Bytes::from(a.block(i, k).to_bytes());
+                master.send(wid, Frame::new(Tag::new(FrameKind::BlockA, i, k), payload), 1);
+            }
+        }
+        master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
+        for _ in 0..ch.blocks() {
+            let (frame, _) = master.recv(wid, 1).expect("worker died mid-chunk");
+            let (i, j) = (frame.tag.i as usize, frame.tag.j as usize);
+            c.set_block(i, j, Block::from_bytes(q, &frame.payload));
+        }
+        active[wi] = None;
+    }
+
+    // The selection loop may terminate before the ragged tail of the grid
+    // is allocated; drain the remainder round-robin over capable workers.
+    let capable: Vec<usize> = (0..platform.len()).filter(|&i| mu[i] > 0).collect();
+    let mut turn = 0usize;
+    loop {
+        let wi = capable[turn % capable.len()];
+        let Some(ch) = cut_chunk(wi, mu[wi], &mut groups, &mut next_col) else {
+            // This worker's group is done and no columns remain; if no
+            // worker can cut anything, the grid is fully covered.
+            let any_left = next_col < s
+                || capable.iter().any(|&w| groups[w].as_ref().is_some_and(|g| g.row < r));
+            if !any_left {
+                break;
+            }
+            turn += 1;
+            continue;
+        };
+        let wid = mwp_platform::WorkerId(wi);
+        turn += 1;
+        for i in ch.rows() {
+            for j in ch.cols() {
+                let payload = Bytes::from(c.block(i, j).to_bytes());
+                master.send(wid, Frame::new(Tag::new(FrameKind::BlockC, i, j), payload), 1);
+            }
+        }
+        for k in 0..t {
+            for j in ch.cols() {
+                let payload = Bytes::from(b.block(k, j).to_bytes());
+                master.send(wid, Frame::new(Tag::new(FrameKind::BlockB, k, j), payload), 1);
+            }
+            for i in ch.rows() {
+                let payload = Bytes::from(a.block(i, k).to_bytes());
+                master.send(wid, Frame::new(Tag::new(FrameKind::BlockA, i, k), payload), 1);
+            }
+        }
+        master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
+        for _ in 0..ch.blocks() {
+            let (frame, _) = master.recv(wid, 1).expect("worker died mid-chunk");
+            let (i, j) = (frame.tag.i as usize, frame.tag.j as usize);
+            c.set_block(i, j, Block::from_bytes(q, &frame.payload));
+        }
+        served.insert(wi);
+    }
+
+    for id in platform.ids() {
+        master.send(id, Frame::shutdown(), 0);
+    }
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+
+    Ok(RunOutcome {
+        c,
+        wall: start.elapsed(),
+        blocks_moved: master.total_blocks(),
+        workers_used: served.len(),
+        chunk_side: mu.iter().copied().max().unwrap_or(0),
+    })
+}
+
+/// Algorithm 2: the worker program.
+///
+/// Holds the resident C chunk, the current `B` row, and applies each
+/// incoming `A` block to every column of the chunk. `Control` requests the
+/// chunk back; `Shutdown` ends the thread. Asserts the memory invariant
+/// (`resident blocks ≤ m`) the paper's layout guarantees.
+fn worker_main(ep: WorkerEndpoint, q: usize, memory_cap: usize) {
+    let mut c_chunk: HashMap<(usize, usize), Block> = HashMap::new();
+    let mut b_row: HashMap<usize, Block> = HashMap::new();
+    loop {
+        let frame = match ep.recv() {
+            Ok(f) => f,
+            Err(_) => return, // master gone
+        };
+        match frame.tag.kind {
+            FrameKind::BlockC => {
+                let key = (frame.tag.i as usize, frame.tag.j as usize);
+                c_chunk.insert(key, Block::from_bytes(q, &frame.payload));
+            }
+            FrameKind::BlockB => {
+                // A new B row block for column j; the step index k is
+                // implicit in FIFO order (it overwrites the previous k's).
+                b_row.insert(frame.tag.j as usize, Block::from_bytes(q, &frame.payload));
+            }
+            FrameKind::BlockA => {
+                let i = frame.tag.i as usize;
+                let a_block = Block::from_bytes(q, &frame.payload);
+                // Update row i of the resident chunk: C[i][j] += A · B[j].
+                for (&(ci, cj), c_block) in c_chunk.iter_mut() {
+                    if ci == i {
+                        let b_block = b_row
+                            .get(&cj)
+                            .expect("B row must arrive before the A column (FIFO)");
+                        c_block.gemm_acc(&a_block, b_block);
+                    }
+                }
+            }
+            FrameKind::Control => {
+                // Return the chunk in deterministic order.
+                let mut keys: Vec<_> = c_chunk.keys().copied().collect();
+                keys.sort_unstable();
+                for (i, j) in keys {
+                    let block = c_chunk.remove(&(i, j)).expect("key just listed");
+                    ep.send(Frame::new(
+                        Tag::new(FrameKind::CResult, i, j),
+                        Bytes::from(block.to_bytes()),
+                    ));
+                }
+                b_row.clear();
+            }
+            FrameKind::Shutdown => return,
+            FrameKind::CResult | FrameKind::LuPanel => {
+                unreachable!("master never sends {:?}", frame.tag.kind)
+            }
+        }
+        // The paper's memory invariant: resident blocks never exceed m.
+        // (+1 for the A block in flight.)
+        assert!(
+            c_chunk.len() + b_row.len() < memory_cap,
+            "worker exceeded its memory: {} + {} + 1 > {memory_cap}",
+            c_chunk.len(),
+            b_row.len(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwp_blockmat::fill::random_matrix;
+    use mwp_blockmat::gemm::verify_product;
+
+    fn platform(p: usize, m: usize) -> Platform {
+        Platform::homogeneous(p, 4.0, 1.0, m).unwrap()
+    }
+
+    #[test]
+    fn holm_computes_the_product() {
+        let pf = platform(4, 60); // µ = 6
+        let q = 8;
+        let a = random_matrix(5, 7, q, 1);
+        let b = random_matrix(7, 9, q, 2);
+        let c0 = random_matrix(5, 9, q, 3);
+        let out = run_holm(&pf, &a, &b, c0.clone(), 0.0).unwrap();
+        let err = verify_product(&out.c, &c0, &a, &b, 1e-9)
+            .unwrap_or_else(|e| panic!("result off by {e}"));
+        assert!(err < 1e-9);
+        assert!(out.workers_used >= 1);
+        assert!(out.blocks_moved > 0);
+    }
+
+    #[test]
+    fn all_workers_variant_also_correct() {
+        let pf = platform(3, 32); // µ = 4
+        let q = 4;
+        let a = random_matrix(6, 4, q, 10);
+        let b = random_matrix(4, 8, q, 11);
+        let c0 = random_matrix(6, 8, q, 12);
+        let out = run_all_workers(&pf, &a, &b, c0.clone(), 0.0).unwrap();
+        assert!(verify_product(&out.c, &c0, &a, &b, 1e-9).is_ok());
+        assert_eq!(out.workers_used, 3);
+    }
+
+    #[test]
+    fn resource_selection_uses_fewer_workers() {
+        // Comm-bound: HoLM should enroll fewer than all 6.
+        let pf = platform(6, 60);
+        let q = 4;
+        let a = random_matrix(6, 6, q, 20);
+        let b = random_matrix(6, 12, q, 21);
+        let c0 = random_matrix(6, 12, q, 22);
+        let holm = run_holm(&pf, &a, &b, c0.clone(), 0.0).unwrap();
+        let all = run_all_workers(&pf, &a, &b, c0, 0.0).unwrap();
+        assert!(holm.workers_used < all.workers_used);
+        // Identical communication volume: same layout, same chunking at
+        // the same µ.
+        if holm.chunk_side == all.chunk_side {
+            assert_eq!(holm.blocks_moved, all.blocks_moved);
+        }
+    }
+
+    #[test]
+    fn single_worker_runs() {
+        let pf = platform(1, 21); // µ: µ²+4µ ≤ 21 -> 2
+        let q = 4;
+        let a = random_matrix(3, 3, q, 30);
+        let b = random_matrix(3, 3, q, 31);
+        let c0 = random_matrix(3, 3, q, 32);
+        let out = run_holm(&pf, &a, &b, c0.clone(), 0.0).unwrap();
+        assert!(verify_product(&out.c, &c0, &a, &b, 1e-9).is_ok());
+        assert_eq!(out.workers_used, 1);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let pf = platform(2, 60);
+        let a = random_matrix(2, 3, 4, 1);
+        let b = random_matrix(2, 2, 4, 2); // wrong inner dim
+        let c0 = random_matrix(2, 2, 4, 3);
+        assert_eq!(
+            run_holm(&pf, &a, &b, c0, 0.0).unwrap_err(),
+            RuntimeError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn heterogeneous_rejected() {
+        let pf = Platform::new(vec![
+            mwp_platform::WorkerParams::new(1.0, 1.0, 60),
+            mwp_platform::WorkerParams::new(2.0, 2.0, 60),
+        ])
+        .unwrap();
+        let a = random_matrix(2, 2, 4, 1);
+        let b = random_matrix(2, 2, 4, 2);
+        let c0 = random_matrix(2, 2, 4, 3);
+        assert_eq!(
+            run_holm(&pf, &a, &b, c0, 0.0).unwrap_err(),
+            RuntimeError::HeterogeneousPlatform
+        );
+    }
+
+    #[test]
+    fn heterogeneous_runtime_computes_the_product() {
+        use crate::selection::incremental::SelectionRule;
+        // The paper's Table 2 platform with very different µ_i per worker.
+        let pf = Platform::new(vec![
+            mwp_platform::WorkerParams::new(2.0, 2.0, 60),
+            mwp_platform::WorkerParams::new(3.0, 3.0, 396),
+            mwp_platform::WorkerParams::new(5.0, 1.0, 140),
+        ])
+        .unwrap();
+        let q = 4;
+        let (r, t, s) = (20, 6, 25);
+        let a = random_matrix(r, t, q, 51);
+        let b = random_matrix(t, s, q, 52);
+        let c0 = random_matrix(r, s, q, 53);
+        for rule in [SelectionRule::Global, SelectionRule::Local] {
+            let out = run_heterogeneous(&pf, &a, &b, c0.clone(), rule, 0.0)
+                .unwrap_or_else(|e| panic!("{rule:?}: {e}"));
+            verify_product(&out.c, &c0, &a, &b, 1e-9)
+                .unwrap_or_else(|e| panic!("{rule:?}: result off by {e}"));
+            assert!(out.workers_used >= 2, "{rule:?} used {} workers", out.workers_used);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_runtime_handles_tiny_grids() {
+        use crate::selection::incremental::SelectionRule;
+        let pf = Platform::new(vec![
+            mwp_platform::WorkerParams::new(1.0, 1.0, 60),
+            mwp_platform::WorkerParams::new(2.0, 2.0, 140),
+        ])
+        .unwrap();
+        let q = 4;
+        let a = random_matrix(2, 3, q, 61);
+        let b = random_matrix(3, 2, q, 62);
+        let c0 = random_matrix(2, 2, q, 63);
+        let out =
+            run_heterogeneous(&pf, &a, &b, c0.clone(), SelectionRule::Global, 0.0).unwrap();
+        assert!(verify_product(&out.c, &c0, &a, &b, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn communication_volume_matches_formula() {
+        // Blocks moved = 2·(C blocks) + t·(µ-row of B + µ-col of A per
+        // chunk) summed over chunks.
+        let pf = platform(2, 60); // µ = 6
+        let q = 4;
+        let (r, t, s) = (6, 5, 12);
+        let a = random_matrix(r, t, q, 41);
+        let b = random_matrix(t, s, q, 42);
+        let c0 = random_matrix(r, s, q, 43);
+        let out = run_all_workers(&pf, &a, &b, c0, 0.0).unwrap();
+        let mu = out.chunk_side as u64;
+        let n_chunks = ((r as u64).div_ceil(mu)) * ((s as u64).div_ceil(mu));
+        let expected = 2 * (r as u64 * s as u64) // C out + back
+            + n_chunks * (t as u64) * 2 * mu; // per chunk per k: µ B + µ A
+        assert_eq!(out.blocks_moved, expected);
+    }
+}

@@ -1,0 +1,17 @@
+//! Resource selection: which workers to enroll, and for how much work.
+//!
+//! * [`homogeneous`] — the Section 5 closed form `P = min(p, ceil(µw/2c))`
+//!   plus the small-matrix `(ν, Q)` fallback,
+//! * [`bandwidth_centric`] — the Section 6.1 steady-state linear program
+//!   (sort by `2c_i/µ_i`, enroll greedily) and the memory-feasibility check
+//!   that motivates Section 6.2 (Table 1's counterexample),
+//! * [`incremental`] — the Section 6.2 incremental selection: Algorithm 3
+//!   (global), the local variant, and the two-step lookahead refinement.
+
+pub mod bandwidth_centric;
+pub mod homogeneous;
+pub mod incremental;
+
+pub use bandwidth_centric::{steady_state, SteadyState};
+pub use homogeneous::{select_homogeneous, HomogeneousSelection};
+pub use incremental::{run_selection, SelectionRule, SelectionTrace};

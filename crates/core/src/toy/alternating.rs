@@ -1,0 +1,149 @@
+//! The alternating greedy algorithm and Proposition 1.
+//!
+//! With a single worker, the master should alternate `A` and `B` files:
+//! after `x` communications with `y` files of type A and `z = x − y` of
+//! type B, the worker can process at most `y·z` tasks, maximized by
+//! `y = ceil(x/2), z = floor(x/2)`. Proposition 1 proves this greedy
+//! optimal; [`best_single_worker_makespan`] verifies it exhaustively on
+//! small instances.
+
+use super::model::{File, ToyInstance, ToySim};
+
+/// The alternating greedy send order for a single worker: A and B files
+/// interleaved (starting with the more numerous type so the remainder
+/// tail is as short as possible; for `r = s` the paper starts with either).
+pub fn alternating_greedy_order(r: usize, s: usize) -> Vec<File> {
+    let mut order = Vec::with_capacity(r + s);
+    let (mut ai, mut bj) = (0usize, 0usize);
+    // Start with A when r ≥ s, else B; then strictly alternate until one
+    // type runs out, then drain the other.
+    let mut send_a_next = r >= s;
+    while ai < r || bj < s {
+        let can_a = ai < r;
+        let can_b = bj < s;
+        if (send_a_next && can_a) || !can_b {
+            order.push(File::A(ai));
+            ai += 1;
+        } else {
+            order.push(File::B(bj));
+            bj += 1;
+        }
+        send_a_next = !send_a_next;
+    }
+    order
+}
+
+/// Makespan of a given single-worker send order.
+pub fn single_worker_makespan(inst: &ToyInstance, order: &[File]) -> f64 {
+    assert_eq!(inst.p, 1, "single-worker evaluator");
+    let mut sim = ToySim::new(*inst);
+    for &f in order {
+        sim.send(0, f);
+    }
+    assert!(!sim.unclaimed_remain(), "order must deliver every file");
+    sim.makespan()
+}
+
+/// Makespan of the alternating greedy algorithm on a single worker.
+pub fn alternating_greedy_makespan(inst: &ToyInstance) -> f64 {
+    single_worker_makespan(inst, &alternating_greedy_order(inst.r, inst.s))
+}
+
+/// Exhaustive minimum over all single-worker send orders (all
+/// interleavings of the A and B sequences; within a type the order is
+/// irrelevant by symmetry). Exponential — keep `r + s ≤ 14`.
+pub fn best_single_worker_makespan(inst: &ToyInstance) -> f64 {
+    assert!(inst.r + inst.s <= 14, "exhaustive search limited to r + s ≤ 14");
+    let mut best = f64::INFINITY;
+    let mut order = Vec::with_capacity(inst.r + inst.s);
+    explore(inst, 0, 0, &mut order, &mut best);
+    best
+}
+
+fn explore(inst: &ToyInstance, a: usize, b: usize, order: &mut Vec<File>, best: &mut f64) {
+    if a == inst.r && b == inst.s {
+        let m = single_worker_makespan(inst, order);
+        if m < *best {
+            *best = m;
+        }
+        return;
+    }
+    if a < inst.r {
+        order.push(File::A(a));
+        explore(inst, a + 1, b, order, best);
+        order.pop();
+    }
+    if b < inst.s {
+        order.push(File::B(b));
+        explore(inst, a, b + 1, order, best);
+        order.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn order_alternates_and_is_complete() {
+        let order = alternating_greedy_order(3, 3);
+        assert_eq!(order.len(), 6);
+        // Strict alternation for r = s.
+        for pair in order.windows(2) {
+            let same = matches!(
+                (pair[0], pair[1]),
+                (File::A(_), File::A(_)) | (File::B(_), File::B(_))
+            );
+            assert!(!same, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn order_drains_remainder() {
+        let order = alternating_greedy_order(4, 1);
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], File::A(0));
+        assert_eq!(order[1], File::B(0));
+        // Remaining three are all A.
+        assert!(order[2..].iter().all(|f| matches!(f, File::A(_))));
+    }
+
+    #[test]
+    fn proposition_1_exhaustive_small() {
+        // Alternating greedy is optimal for a single worker (Prop. 1),
+        // across several (r, s, c, w) combinations including comm-bound
+        // and compute-bound regimes.
+        for (r, s) in [(2, 2), (3, 3), (3, 2), (4, 3), (5, 2)] {
+            for (c, w) in [(1.0, 1.0), (4.0, 7.0), (7.0, 1.0), (1.0, 10.0)] {
+                let inst = ToyInstance { r, s, p: 1, c, w };
+                let greedy = alternating_greedy_makespan(&inst);
+                let best = best_single_worker_makespan(&inst);
+                assert!(
+                    greedy <= best + 1e-9,
+                    "greedy {greedy} > optimal {best} for r={r} s={s} c={c} w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_formula_spotcheck() {
+        // r = s = 1, c = 2, w = 3: send A (t=2), send B (t=4), compute
+        // (4..7).
+        let inst = ToyInstance { r: 1, s: 1, p: 1, c: 2.0, w: 3.0 };
+        assert_eq!(alternating_greedy_makespan(&inst), 7.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_greedy_optimal(r in 1usize..5, s in 1usize..5, c in 1u32..10, w in 1u32..10) {
+            let inst = ToyInstance { r, s, p: 1, c: c as f64, w: w as f64 };
+            let greedy = alternating_greedy_makespan(&inst);
+            let best = best_single_worker_makespan(&inst);
+            prop_assert!(greedy <= best + 1e-9,
+                "greedy {} vs optimal {} (r={} s={} c={} w={})", greedy, best, r, s, c, w);
+        }
+    }
+}

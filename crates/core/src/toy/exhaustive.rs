@@ -1,0 +1,220 @@
+//! Exhaustive (branch-and-bound) optimum for the toy problem with several
+//! workers — the ground truth behind Section 3's central observation that
+//! *neither* Thrifty nor Min-min is optimal.
+//!
+//! The search enumerates send sequences `(worker, file)` with duplicate
+//! sends allowed (a file may be replicated to several workers, as the
+//! paper's own Figure 4 schedules do), pruning by:
+//!
+//! * a makespan lower bound against the incumbent,
+//! * worker symmetry (identical idle workers are interchangeable: a fresh
+//!   worker `k` may only be opened once workers `< k` hold files),
+//! * file symmetry (among never-sent files of a type, only the
+//!   lowest-index one is tried),
+//! * a cap on total sends (`r + s + max_extra` — extra sends are
+//!   duplicates; small `max_extra` is enough for small instances).
+//!
+//! Complexity is exponential; keep instances at `r·s ≤ 12`.
+
+use super::model::{File, ToyInstance, ToySim};
+
+/// Result of the exhaustive search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Optimum {
+    /// The optimal makespan found.
+    pub makespan: f64,
+    /// Number of search nodes expanded (diagnostic).
+    pub nodes: u64,
+}
+
+/// Exhaustive optimal makespan for `inst`, allowing up to `max_extra`
+/// duplicate sends beyond the `r + s` distinct files.
+pub fn optimal_makespan(inst: &ToyInstance, max_extra: usize) -> Optimum {
+    assert!(inst.r * inst.s <= 12, "exhaustive search limited to r·s ≤ 12");
+    let mut search = Search {
+        inst: *inst,
+        best: f64::INFINITY,
+        nodes: 0,
+        max_sends: inst.r + inst.s + max_extra,
+    };
+    let sim = ToySim::new(*inst);
+    search.dfs(&sim, 0);
+    Optimum { makespan: search.best, nodes: search.nodes }
+}
+
+struct Search {
+    inst: ToyInstance,
+    best: f64,
+    nodes: u64,
+    max_sends: usize,
+}
+
+impl Search {
+    fn dfs(&mut self, sim: &ToySim, sends: usize) {
+        self.nodes += 1;
+        if !sim.unclaimed_remain() {
+            let m = sim.makespan();
+            if m < self.best {
+                self.best = m;
+            }
+            return;
+        }
+        if sends >= self.max_sends {
+            return;
+        }
+        // Lower bound: at least one more send must complete, and at least
+        // one more task must run somewhere after it.
+        let lb = (sim.port_time + self.inst.c + self.inst.w).max(sim.makespan());
+        if lb >= self.best {
+            return;
+        }
+
+        for (w, f) in self.candidate_moves(sim) {
+            let mut next = sim.clone();
+            next.send(w, f);
+            self.dfs(&next, sends + 1);
+        }
+    }
+
+    /// Candidate `(worker, file)` moves after symmetry reduction.
+    fn candidate_moves(&self, sim: &ToySim) -> Vec<(usize, File)> {
+        let inst = &self.inst;
+        let mut moves = Vec::new();
+        // Worker symmetry: a fresh (empty) worker is only usable if it is
+        // the first fresh worker.
+        let mut fresh_seen = false;
+        // File symmetry: among files never sent to anyone, expose only the
+        // lowest index per type.
+        let ever_sent = |f: File| sim_holds_any(sim, f);
+        let first_unsent_a = (0..inst.r).find(|&i| !ever_sent(File::A(i)));
+        let first_unsent_b = (0..inst.s).find(|&j| !ever_sent(File::B(j)));
+
+        for w in 0..inst.p {
+            let empty = sim.workers[w].a_files.is_empty() && sim.workers[w].b_files.is_empty();
+            if empty {
+                if fresh_seen {
+                    continue;
+                }
+                fresh_seen = true;
+            }
+            for i in 0..inst.r {
+                let f = File::A(i);
+                if sim.holds(w, f) {
+                    continue;
+                }
+                // Skip symmetric unsent files beyond the first.
+                if !ever_sent(f) && Some(i) != first_unsent_a {
+                    continue;
+                }
+                // Useless files (no gain and the worker has B files
+                // already covering nothing) still allowed only when they
+                // can bootstrap.
+                if sim.gain(w, f) == 0 && !sim.workers[w].b_files.is_empty() {
+                    continue;
+                }
+                moves.push((w, f));
+            }
+            for j in 0..inst.s {
+                let f = File::B(j);
+                if sim.holds(w, f) {
+                    continue;
+                }
+                if !ever_sent(f) && Some(j) != first_unsent_b {
+                    continue;
+                }
+                if sim.gain(w, f) == 0 && !sim.workers[w].a_files.is_empty() {
+                    continue;
+                }
+                moves.push((w, f));
+            }
+        }
+        moves
+    }
+}
+
+/// Does any worker hold `f`?
+fn sim_holds_any(sim: &ToySim, f: File) -> bool {
+    (0..sim.workers.len()).any(|w| sim.holds(w, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::alternating::alternating_greedy_makespan;
+    use crate::toy::{min_min, thrifty};
+
+    #[test]
+    fn matches_single_worker_enumeration() {
+        // With p = 1 the optimum must equal the alternating greedy
+        // (Proposition 1).
+        for (r, s, c, w) in [(2, 2, 4.0, 7.0), (3, 3, 8.0, 9.0), (3, 2, 1.0, 10.0)] {
+            let inst = ToyInstance { r, s, p: 1, c, w };
+            let opt = optimal_makespan(&inst, 0);
+            let greedy = alternating_greedy_makespan(&inst);
+            assert!(
+                (opt.makespan - greedy).abs() < 1e-9,
+                "r={r} s={s}: optimum {} vs greedy {greedy}",
+                opt.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn never_worse_than_either_heuristic() {
+        for (r, s, p, c, w) in [
+            (2, 2, 2, 4.0, 7.0),
+            (2, 2, 2, 1.0, 10.0),
+            (3, 2, 2, 2.0, 3.0),
+            (2, 3, 2, 8.0, 9.0),
+        ] {
+            let inst = ToyInstance { r, s, p, c, w };
+            let opt = optimal_makespan(&inst, 2).makespan;
+            let th = thrifty(&inst).makespan();
+            let mm = min_min(&inst).makespan();
+            assert!(opt <= th + 1e-9, "r={r} s={s}: optimum {opt} > thrifty {th}");
+            assert!(opt <= mm + 1e-9, "r={r} s={s}: optimum {opt} > minmin {mm}");
+        }
+    }
+
+    #[test]
+    fn neither_heuristic_is_optimal() {
+        // Section 3's point: on some instance BOTH heuristics are strictly
+        // beaten by the optimum. We exhibit one by scanning a small grid.
+        let mut found = false;
+        for (r, s) in [(2, 2), (3, 2), (2, 3)] {
+            for (c, w) in [(2.0, 3.0), (4.0, 7.0), (3.0, 5.0), (1.0, 4.0)] {
+                let inst = ToyInstance { r, s, p: 2, c, w };
+                let opt = optimal_makespan(&inst, 2).makespan;
+                let th = thrifty(&inst).makespan();
+                let mm = min_min(&inst).makespan();
+                if opt < th - 1e-9 && opt < mm - 1e-9 {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "expected at least one instance where both heuristics are suboptimal");
+    }
+
+    #[test]
+    fn duplicates_can_help() {
+        // Allowing duplicate file sends must never hurt, and for some
+        // instance it strictly helps (that is why the paper's schedules
+        // replicate B files).
+        let inst = ToyInstance { r: 2, s: 2, p: 2, c: 1.0, w: 10.0 };
+        let no_dup = optimal_makespan(&inst, 0).makespan;
+        let dup = optimal_makespan(&inst, 2).makespan;
+        assert!(dup <= no_dup + 1e-9);
+        assert!(
+            dup < no_dup - 1e-9,
+            "compute-bound 2x2: replicating a file should strictly help ({dup} vs {no_dup})"
+        );
+    }
+
+    #[test]
+    fn node_counts_stay_sane() {
+        let inst = ToyInstance { r: 2, s: 2, p: 2, c: 4.0, w: 7.0 };
+        let opt = optimal_makespan(&inst, 2);
+        assert!(opt.nodes < 2_000_000, "search exploded: {} nodes", opt.nodes);
+        assert!(opt.makespan.is_finite());
+    }
+}

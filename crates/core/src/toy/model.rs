@@ -1,0 +1,269 @@
+//! State machine shared by the Section 3 heuristics.
+
+use std::collections::HashSet;
+
+/// A file the master can send: a stripe of `A` or of `B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum File {
+    /// Stripe `A_i`, `0 ≤ i < r`.
+    A(usize),
+    /// Stripe `B_j`, `0 ≤ j < s`.
+    B(usize),
+}
+
+/// Problem parameters for the toy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToyInstance {
+    /// Number of `A` stripes.
+    pub r: usize,
+    /// Number of `B` stripes.
+    pub s: usize,
+    /// Number of identical workers.
+    pub p: usize,
+    /// Per-file communication time.
+    pub c: f64,
+    /// Per-task computation time.
+    pub w: f64,
+}
+
+impl ToyInstance {
+    /// Total number of tasks `r · s`.
+    pub fn tasks(&self) -> usize {
+        self.r * self.s
+    }
+}
+
+/// Per-worker state during a toy simulation.
+#[derive(Debug, Clone, Default)]
+pub struct ToyWorker {
+    /// `A` indices held.
+    pub a_files: HashSet<usize>,
+    /// `B` indices held.
+    pub b_files: HashSet<usize>,
+    /// Time the worker's compute queue drains.
+    pub ready: f64,
+    /// Tasks claimed by this worker.
+    pub tasks: usize,
+}
+
+/// A deterministic simulator of the toy model: the caller decides which
+/// file goes to which worker; the simulator tracks the one-port timeline,
+/// task claiming, and each worker's compute queue.
+///
+/// Task claiming convention: when a file arrives at a worker, the worker
+/// immediately claims every still-unclaimed task it can now compute (the
+/// greedy rule implicit in the paper's Figure 4 schedules).
+#[derive(Debug, Clone)]
+pub struct ToySim {
+    inst: ToyInstance,
+    /// Completion time of the last master communication.
+    pub port_time: f64,
+    /// Per-worker state.
+    pub workers: Vec<ToyWorker>,
+    claimed: Vec<bool>,
+}
+
+impl ToySim {
+    /// Fresh simulation for `inst`.
+    pub fn new(inst: ToyInstance) -> Self {
+        ToySim {
+            inst,
+            port_time: 0.0,
+            workers: (0..inst.p).map(|_| ToyWorker::default()).collect(),
+            claimed: vec![false; inst.r * inst.s],
+        }
+    }
+
+    /// The instance being simulated.
+    pub fn instance(&self) -> &ToyInstance {
+        &self.inst
+    }
+
+    /// Has task `(i, j)` been claimed by some worker?
+    pub fn is_claimed(&self, i: usize, j: usize) -> bool {
+        self.claimed[i * self.inst.s + j]
+    }
+
+    /// Number of tasks claimed so far.
+    pub fn tasks_done(&self) -> usize {
+        self.claimed.iter().filter(|&&b| b).count()
+    }
+
+    /// Does worker `w` already hold `file`?
+    pub fn holds(&self, w: usize, file: File) -> bool {
+        match file {
+            File::A(i) => self.workers[w].a_files.contains(&i),
+            File::B(j) => self.workers[w].b_files.contains(&j),
+        }
+    }
+
+    /// Number of *unclaimed* tasks worker `w` would newly be able to
+    /// compute if it received `file` now.
+    pub fn gain(&self, w: usize, file: File) -> usize {
+        if self.holds(w, file) {
+            return 0;
+        }
+        match file {
+            File::A(i) => self.workers[w]
+                .b_files
+                .iter()
+                .filter(|&&j| !self.is_claimed(i, j))
+                .count(),
+            File::B(j) => self.workers[w]
+                .a_files
+                .iter()
+                .filter(|&&i| !self.is_claimed(i, j))
+                .count(),
+        }
+    }
+
+    /// Send `file` to worker `w`: occupies the port for `c`, then the
+    /// worker claims newly-enabled unclaimed tasks and queues them.
+    /// Returns the number of tasks claimed.
+    pub fn send(&mut self, w: usize, file: File) -> usize {
+        assert!(!self.holds(w, file), "resending {file:?} to worker {w} is useless");
+        self.port_time += self.inst.c;
+        let arrival = self.port_time;
+        let mut newly = Vec::new();
+        match file {
+            File::A(i) => {
+                for &j in &self.workers[w].b_files {
+                    if !self.is_claimed(i, j) {
+                        newly.push((i, j));
+                    }
+                }
+                self.workers[w].a_files.insert(i);
+            }
+            File::B(j) => {
+                for &i in &self.workers[w].a_files {
+                    if !self.is_claimed(i, j) {
+                        newly.push((i, j));
+                    }
+                }
+                self.workers[w].b_files.insert(j);
+            }
+        }
+        for &(i, j) in &newly {
+            self.claimed[i * self.inst.s + j] = true;
+        }
+        let n = newly.len();
+        let wk = &mut self.workers[w];
+        wk.ready = wk.ready.max(arrival) + n as f64 * self.inst.w;
+        wk.tasks += n;
+        n
+    }
+
+    /// Current makespan: all claimed tasks finished.
+    pub fn makespan(&self) -> f64 {
+        self.workers.iter().fold(0.0_f64, |m, w| m.max(w.ready))
+    }
+
+    /// Are there tasks nobody has claimed yet?
+    pub fn unclaimed_remain(&self) -> bool {
+        self.tasks_done() < self.inst.tasks()
+    }
+
+    /// Best file to send to worker `w` under the alternating-greedy rule:
+    /// prefer the type the worker holds fewer of (to maximize the product
+    /// `y · z` of held counts), and within the type the file with the
+    /// largest immediate gain. Returns `None` when no file helps `w`.
+    pub fn best_alternating_file(&self, w: usize) -> Option<File> {
+        let held_a = self.workers[w].a_files.len();
+        let held_b = self.workers[w].b_files.len();
+        let candidate_a = (0..self.inst.r)
+            .filter(|&i| !self.workers[w].a_files.contains(&i))
+            .max_by_key(|&i| self.gain(w, File::A(i)))
+            .map(File::A);
+        let candidate_b = (0..self.inst.s)
+            .filter(|&j| !self.workers[w].b_files.contains(&j))
+            .max_by_key(|&j| self.gain(w, File::B(j)))
+            .map(File::B);
+        // Alternate: pick the scarcer type first; fall back to the other.
+        let (first, second) = if held_a < held_b {
+            (candidate_a, candidate_b)
+        } else {
+            (candidate_b, candidate_a)
+        };
+        // Only propose a file if it (eventually) helps: a file with zero
+        // immediate gain is still useful if the worker holds nothing of
+        // the other type yet (bootstrap).
+        let useful = |f: File| {
+            self.gain(w, f) > 0
+                || match f {
+                    File::A(_) => self.workers[w].b_files.is_empty(),
+                    File::B(_) => self.workers[w].a_files.is_empty(),
+                }
+        };
+        first.filter(|&f| useful(f)).or(second.filter(|&f| useful(f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> ToyInstance {
+        ToyInstance { r: 2, s: 2, p: 2, c: 1.0, w: 2.0 }
+    }
+
+    #[test]
+    fn send_claims_new_tasks() {
+        let mut sim = ToySim::new(inst());
+        assert_eq!(sim.send(0, File::A(0)), 0); // no B yet
+        assert_eq!(sim.send(0, File::B(0)), 1); // task (0,0)
+        assert!(sim.is_claimed(0, 0));
+        assert_eq!(sim.port_time, 2.0);
+        // Arrival 2, one task of w = 2 -> ready 4.
+        assert_eq!(sim.workers[0].ready, 4.0);
+    }
+
+    #[test]
+    fn claimed_tasks_not_recomputed_elsewhere() {
+        let mut sim = ToySim::new(inst());
+        sim.send(0, File::A(0));
+        sim.send(0, File::B(0)); // worker 0 claims (0,0)
+        sim.send(1, File::A(0));
+        let n = sim.send(1, File::B(0)); // (0,0) already claimed
+        assert_eq!(n, 0);
+        assert_eq!(sim.workers[1].tasks, 0);
+        assert_eq!(sim.tasks_done(), 1);
+    }
+
+    #[test]
+    fn gain_counts_unclaimed_pairs() {
+        let mut sim = ToySim::new(inst());
+        sim.send(0, File::B(0));
+        sim.send(0, File::B(1));
+        assert_eq!(sim.gain(0, File::A(0)), 2);
+        sim.send(1, File::A(0));
+        sim.send(1, File::B(0)); // claims (0,0)
+        assert_eq!(sim.gain(0, File::A(0)), 1); // only (0,1) left
+    }
+
+    #[test]
+    fn makespan_tracks_latest_worker() {
+        let mut sim = ToySim::new(inst());
+        sim.send(0, File::A(0));
+        sim.send(0, File::B(0)); // ready 2 + 2 = 4
+        sim.send(1, File::A(1));
+        sim.send(1, File::B(1)); // arrival 4, ready 6
+        assert_eq!(sim.makespan(), 6.0);
+        assert!(sim.unclaimed_remain()); // (0,1) and (1,0) unclaimed
+    }
+
+    #[test]
+    fn alternating_file_prefers_scarcer_type() {
+        let mut sim = ToySim::new(inst());
+        sim.send(0, File::B(0));
+        // Holds 0 A, 1 B: should propose an A next.
+        assert!(matches!(sim.best_alternating_file(0), Some(File::A(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "useless")]
+    fn resend_rejected() {
+        let mut sim = ToySim::new(inst());
+        sim.send(0, File::A(0));
+        sim.send(0, File::A(0));
+    }
+}

@@ -1,0 +1,196 @@
+//! Typed message frames.
+//!
+//! A frame is the unit the message layer moves: a small tag plus an opaque
+//! payload. Payloads are [`Bytes`] so that fan-out (e.g. re-sending the
+//! same `B` block to several workers, which the paper's schedules do) is a
+//! reference-count bump, not a copy.
+
+use bytes::Bytes;
+
+/// What a frame carries. The scheduling layer gives these their precise
+/// meaning; the message layer only routes and meters them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// A block of the input matrix `A` (tag = `(i, k)`).
+    BlockA,
+    /// A block of the input matrix `B` (tag = `(k, j)`).
+    BlockB,
+    /// A block of `C` sent master → worker (tag = `(i, j)`).
+    BlockC,
+    /// A fully-updated block of `C` returned worker → master.
+    CResult,
+    /// An LU panel fragment (Section 7 runtime).
+    LuPanel,
+    /// Scheduler-defined control message (no block accounting).
+    Control,
+    /// Orderly end-of-stream: the worker should drain and exit.
+    Shutdown,
+}
+
+impl FrameKind {
+    /// Stable wire id.
+    fn wire_id(self) -> u8 {
+        match self {
+            FrameKind::BlockA => 0,
+            FrameKind::BlockB => 1,
+            FrameKind::BlockC => 2,
+            FrameKind::CResult => 3,
+            FrameKind::LuPanel => 4,
+            FrameKind::Control => 5,
+            FrameKind::Shutdown => 6,
+        }
+    }
+
+    /// Decode a wire id.
+    fn from_wire_id(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            0 => FrameKind::BlockA,
+            1 => FrameKind::BlockB,
+            2 => FrameKind::BlockC,
+            3 => FrameKind::CResult,
+            4 => FrameKind::LuPanel,
+            5 => FrameKind::Control,
+            6 => FrameKind::Shutdown,
+            _ => return None,
+        })
+    }
+
+    /// Whether frames of this kind count as matrix-block traffic in the
+    /// per-link statistics (control traffic is free in the paper's model).
+    pub fn is_block(self) -> bool {
+        !matches!(self, FrameKind::Control | FrameKind::Shutdown)
+    }
+}
+
+/// Frame address: kind plus two coordinates (block indices; meaning depends
+/// on the kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// First coordinate (row-ish index).
+    pub i: u32,
+    /// Second coordinate (column-ish index).
+    pub j: u32,
+}
+
+impl Tag {
+    /// Convenience constructor.
+    pub fn new(kind: FrameKind, i: usize, j: usize) -> Self {
+        Tag { kind, i: i as u32, j: j as u32 }
+    }
+}
+
+/// A routed message: tag + payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Address/type of the message.
+    pub tag: Tag,
+    /// Opaque payload (block coefficients, little-endian f64s).
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Build a frame.
+    pub fn new(tag: Tag, payload: Bytes) -> Self {
+        Frame { tag, payload }
+    }
+
+    /// A shutdown frame.
+    pub fn shutdown() -> Self {
+        Frame {
+            tag: Tag::new(FrameKind::Shutdown, 0, 0),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Total wire size: 9-byte header (kind + 2 × u32) + payload.
+    pub fn wire_len(&self) -> usize {
+        9 + self.payload.len()
+    }
+
+    /// Serialize to a contiguous buffer (header + payload). The runtime
+    /// moves frames through channels without serializing; this exists for
+    /// byte-level tests and potential socket transports.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.push(self.tag.kind.wire_id());
+        out.extend_from_slice(&self.tag.i.to_le_bytes());
+        out.extend_from_slice(&self.tag.j.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decode a buffer produced by [`Frame::encode`].
+    pub fn decode(buf: &[u8]) -> Option<Frame> {
+        if buf.len() < 9 {
+            return None;
+        }
+        let kind = FrameKind::from_wire_id(buf[0])?;
+        let i = u32::from_le_bytes(buf[1..5].try_into().ok()?);
+        let j = u32::from_le_bytes(buf[5..9].try_into().ok()?);
+        Some(Frame {
+            tag: Tag { kind, i, j },
+            payload: Bytes::copy_from_slice(&buf[9..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = Frame::new(
+            Tag::new(FrameKind::BlockB, 3, 17),
+            Bytes::from_static(b"payload-bytes"),
+        );
+        let wire = f.encode();
+        assert_eq!(wire.len(), f.wire_len());
+        let back = Frame::decode(&wire).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        for kind in [
+            FrameKind::BlockA,
+            FrameKind::BlockB,
+            FrameKind::BlockC,
+            FrameKind::CResult,
+            FrameKind::LuPanel,
+            FrameKind::Control,
+            FrameKind::Shutdown,
+        ] {
+            let f = Frame::new(Tag::new(kind, 1, 2), Bytes::new());
+            assert_eq!(Frame::decode(&f.encode()).unwrap().tag.kind, kind);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Frame::decode(&[]).is_none());
+        assert!(Frame::decode(&[0, 1, 2]).is_none()); // too short
+        let mut wire = Frame::shutdown().encode();
+        wire[0] = 200; // unknown kind
+        assert!(Frame::decode(&wire).is_none());
+    }
+
+    #[test]
+    fn block_accounting_classification() {
+        assert!(FrameKind::BlockA.is_block());
+        assert!(FrameKind::CResult.is_block());
+        assert!(!FrameKind::Control.is_block());
+        assert!(!FrameKind::Shutdown.is_block());
+    }
+
+    #[test]
+    fn payload_sharing_is_zero_copy() {
+        let payload = Bytes::from(vec![7u8; 1024]);
+        let a = Frame::new(Tag::new(FrameKind::BlockB, 0, 0), payload.clone());
+        let b = Frame::new(Tag::new(FrameKind::BlockB, 0, 1), payload.clone());
+        // Same backing storage.
+        assert_eq!(a.payload.as_ptr(), b.payload.as_ptr());
+    }
+}

@@ -1,0 +1,37 @@
+//! # mwp-msg — threaded message layer with a one-port master arbiter
+//!
+//! The paper's experiments run over MPI on a cluster whose NICs serialize
+//! concurrent transfers ("asynchronous MPI sends get serialized as soon as
+//! message sizes exceed a hundred kilobytes", Section 2.2). Rust MPI
+//! bindings being immature, this crate is the **custom message layer** that
+//! replaces MPI for the runtime experiments:
+//!
+//! * [`Frame`] — a typed, length-delimited message (block payloads travel
+//!   as [`bytes::Bytes`], so forwarding never copies coefficients),
+//! * [`OnePort`] — a FIFO arbiter enforcing the paper's one-port model:
+//!   at most one master-side transfer (send *or* receive) in flight,
+//! * [`Link`] — a bandwidth-paced channel pair between the master and one
+//!   worker; pacing holds the port for `blocks · c_i · time_scale` wall
+//!   seconds (`time_scale = 0` disables pacing for fast tests while
+//!   preserving ordering semantics),
+//! * [`StarNetwork`] — builds the full star from a
+//!   [`mwp_platform::Platform`] and hands out master/worker endpoints,
+//! * [`LinkStats`] — lock-free per-link counters (blocks, bytes, busy
+//!   time) that the experiment harness reads after a run.
+//!
+//! Worker-side receives do **not** take the port — only the master is
+//! port-limited, exactly as in the model (each worker has its own link).
+
+pub mod endpoint;
+pub mod frame;
+pub mod link;
+pub mod net;
+pub mod port;
+pub mod stats;
+
+pub use endpoint::{MasterEndpoint, WorkerEndpoint};
+pub use frame::{Frame, FrameKind, Tag};
+pub use link::Link;
+pub use net::StarNetwork;
+pub use port::OnePort;
+pub use stats::LinkStats;

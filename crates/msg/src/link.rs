@@ -1,0 +1,260 @@
+//! A bandwidth-paced master↔worker link.
+//!
+//! Each worker `P_i` has its own link of cost `c_i` per block. Pacing
+//! multiplies the model time by `time_scale` wall seconds per model time
+//! unit — `time_scale = 0` keeps ordering and port-exclusion semantics
+//! while running tests at full speed; a positive scale makes wall-clock
+//! measurements reflect the `(c, w)` calibration.
+
+use crate::frame::Frame;
+use crate::stats::LinkStats;
+use crossbeam::channel::{unbounded, Receiver, RecvError, Sender};
+use std::time::{Duration, Instant};
+
+/// Shared pacing configuration of the whole network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pacing {
+    /// Wall seconds per model time unit (0 = no pacing).
+    pub time_scale: f64,
+}
+
+impl Pacing {
+    /// No pacing: transfers complete as fast as channels allow.
+    pub const OFF: Pacing = Pacing { time_scale: 0.0 };
+
+    /// Pace `model_time` units, blocking the calling thread.
+    pub fn pace(&self, model_time: f64) {
+        if self.time_scale > 0.0 && model_time > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(model_time * self.time_scale));
+        }
+    }
+}
+
+/// One directional channel pair plus metering for a master↔worker link.
+///
+/// The master-side operations ([`Link::push_to_worker`],
+/// [`Link::pull_from_worker`]) are *not* port-aware by themselves; the
+/// [`crate::endpoint::MasterEndpoint`] takes the one-port guard around
+/// them. Worker-side operations never touch the port.
+pub struct Link {
+    /// Per-block communication cost `c_i` of this link (model time units).
+    pub c: f64,
+    pacing: Pacing,
+    stats: LinkStats,
+    to_worker_tx: Sender<Frame>,
+    to_worker_rx: Receiver<Frame>,
+    to_master_tx: Sender<Frame>,
+    to_master_rx: Receiver<Frame>,
+}
+
+impl Link {
+    /// Build a link with per-block cost `c` and the given pacing.
+    pub fn new(c: f64, pacing: Pacing) -> Self {
+        let (to_worker_tx, to_worker_rx) = unbounded();
+        let (to_master_tx, to_master_rx) = unbounded();
+        Link {
+            c,
+            pacing,
+            stats: LinkStats::new(),
+            to_worker_tx,
+            to_worker_rx,
+            to_master_tx,
+            to_master_rx,
+        }
+    }
+
+    /// The link's statistics handle.
+    pub fn stats(&self) -> LinkStats {
+        self.stats.clone()
+    }
+
+    /// Master side: transfer `frame` to the worker, holding the caller for
+    /// the paced duration (`blocks · c`). Returns the model-time cost.
+    pub fn push_to_worker(&self, frame: Frame, blocks: u64) -> f64 {
+        let start = Instant::now();
+        let cost = blocks as f64 * self.c;
+        self.pacing.pace(cost);
+        self.stats
+            .record_to_worker(frame.wire_len(), frame.tag.kind.is_block());
+        self.to_worker_tx.send(frame).expect("worker endpoint dropped");
+        self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
+        cost
+    }
+
+    /// Master side: block until the worker has produced a frame, then pay
+    /// the paced transfer time. Returns the frame and its model-time cost.
+    pub fn pull_from_worker(&self, blocks: u64) -> Result<(Frame, f64), RecvError> {
+        let frame = self.to_master_rx.recv()?;
+        let start = Instant::now();
+        let cost = blocks as f64 * self.c;
+        self.pacing.pace(cost);
+        self.stats
+            .record_to_master(frame.wire_len(), frame.tag.kind.is_block());
+        self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
+        Ok((frame, cost))
+    }
+
+    /// Worker side: receive the next frame from the master (blocking).
+    pub fn worker_recv(&self) -> Result<Frame, RecvError> {
+        self.to_worker_rx.recv()
+    }
+
+    /// Worker side: enqueue a result frame for the master. Does not pace —
+    /// the transfer time is paid by the master when it pulls (the one-port
+    /// model bills all communication to the master's port).
+    pub fn worker_send(&self, frame: Frame) {
+        // The master endpoint may have been dropped mid-teardown; losing a
+        // result there is fine because nobody will read it.
+        let _ = self.to_master_tx.send(frame);
+    }
+
+    /// Split into master-facing and worker-facing halves.
+    pub fn split(self) -> (MasterSide, WorkerSide) {
+        let stats = self.stats.clone();
+        (
+            MasterSide {
+                c: self.c,
+                pacing: self.pacing,
+                stats: stats.clone(),
+                tx: self.to_worker_tx,
+                rx: self.to_master_rx,
+            },
+            WorkerSide {
+                rx: self.to_worker_rx,
+                tx: self.to_master_tx,
+            },
+        )
+    }
+}
+
+/// Master-facing half of a link.
+pub struct MasterSide {
+    /// Per-block cost `c_i`.
+    pub c: f64,
+    pacing: Pacing,
+    stats: LinkStats,
+    tx: Sender<Frame>,
+    rx: Receiver<Frame>,
+}
+
+impl MasterSide {
+    /// Paced send; returns model-time cost.
+    pub fn send(&self, frame: Frame, blocks: u64) -> f64 {
+        let start = Instant::now();
+        let cost = blocks as f64 * self.c;
+        self.pacing.pace(cost);
+        self.stats
+            .record_to_worker(frame.wire_len(), frame.tag.kind.is_block());
+        self.tx.send(frame).expect("worker endpoint dropped");
+        self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
+        cost
+    }
+
+    /// Non-blocking receive: pays the paced transfer only if a frame is
+    /// already available. `None` when the channel is empty or closed.
+    pub fn try_recv(&self, blocks: u64) -> Option<(Frame, f64)> {
+        let frame = self.rx.try_recv().ok()?;
+        let start = Instant::now();
+        let cost = blocks as f64 * self.c;
+        self.pacing.pace(cost);
+        self.stats
+            .record_to_master(frame.wire_len(), frame.tag.kind.is_block());
+        self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
+        Some((frame, cost))
+    }
+
+    /// Paced receive; blocks until the worker produced a frame.
+    pub fn recv(&self, blocks: u64) -> Result<(Frame, f64), RecvError> {
+        let frame = self.rx.recv()?;
+        let start = Instant::now();
+        let cost = blocks as f64 * self.c;
+        self.pacing.pace(cost);
+        self.stats
+            .record_to_master(frame.wire_len(), frame.tag.kind.is_block());
+        self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
+        Ok((frame, cost))
+    }
+
+    /// Statistics handle for this link.
+    pub fn stats(&self) -> LinkStats {
+        self.stats.clone()
+    }
+}
+
+/// Worker-facing half of a link.
+pub struct WorkerSide {
+    rx: Receiver<Frame>,
+    tx: Sender<Frame>,
+}
+
+impl WorkerSide {
+    /// Blocking receive of the next master frame.
+    pub fn recv(&self) -> Result<Frame, RecvError> {
+        self.rx.recv()
+    }
+
+    /// Enqueue a result for the master (un-paced; the master pays on pull).
+    pub fn send(&self, frame: Frame) {
+        let _ = self.tx.send(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{FrameKind, Tag};
+    use bytes::Bytes;
+
+    fn blk(kind: FrameKind, i: usize, j: usize) -> Frame {
+        Frame::new(Tag::new(kind, i, j), Bytes::from_static(&[1, 2, 3]))
+    }
+
+    #[test]
+    fn push_pull_roundtrip() {
+        let link = Link::new(2.0, Pacing::OFF);
+        let cost = link.push_to_worker(blk(FrameKind::BlockA, 1, 2), 1);
+        assert_eq!(cost, 2.0);
+        let got = link.worker_recv().unwrap();
+        assert_eq!(got.tag, Tag::new(FrameKind::BlockA, 1, 2));
+        link.worker_send(blk(FrameKind::CResult, 1, 2));
+        let (res, cost) = link.pull_from_worker(1).unwrap();
+        assert_eq!(res.tag.kind, FrameKind::CResult);
+        assert_eq!(cost, 2.0);
+        let snap = link.stats().snapshot();
+        assert_eq!(snap.blocks_to_worker, 1);
+        assert_eq!(snap.blocks_to_master, 1);
+    }
+
+    #[test]
+    fn split_halves_communicate() {
+        let (master, worker) = Link::new(1.0, Pacing::OFF).split();
+        master.send(blk(FrameKind::BlockB, 0, 5), 1);
+        let f = worker.recv().unwrap();
+        assert_eq!(f.tag.j, 5);
+        worker.send(blk(FrameKind::CResult, 0, 5));
+        let (f, _) = master.recv(1).unwrap();
+        assert_eq!(f.tag.kind, FrameKind::CResult);
+        assert_eq!(master.stats().snapshot().total_blocks(), 2);
+    }
+
+    #[test]
+    fn pacing_sleeps_roughly_right() {
+        let link = Link::new(0.01, Pacing { time_scale: 1.0 });
+        let start = Instant::now();
+        link.push_to_worker(blk(FrameKind::BlockA, 0, 0), 2); // 0.02 s
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(elapsed >= 0.02, "pacing too short: {elapsed}");
+        assert!(elapsed < 0.5, "pacing absurdly long: {elapsed}");
+    }
+
+    #[test]
+    fn fifo_frame_order_preserved() {
+        let link = Link::new(1.0, Pacing::OFF);
+        for k in 0..10 {
+            link.push_to_worker(blk(FrameKind::BlockA, k, 0), 1);
+        }
+        for k in 0..10 {
+            assert_eq!(link.worker_recv().unwrap().tag.i, k as u32);
+        }
+    }
+}

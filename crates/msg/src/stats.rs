@@ -1,0 +1,141 @@
+//! Lock-free per-link statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters for one master↔worker link. All methods are thread-safe;
+/// cloning shares the same counters.
+#[derive(Clone, Default)]
+pub struct LinkStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Default)]
+struct Counters {
+    frames_to_worker: AtomicU64,
+    frames_to_master: AtomicU64,
+    bytes_to_worker: AtomicU64,
+    bytes_to_master: AtomicU64,
+    blocks_to_worker: AtomicU64,
+    blocks_to_master: AtomicU64,
+    /// Nanoseconds the master port was held for this link's transfers.
+    port_busy_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkSnapshot {
+    /// Frames master → worker.
+    pub frames_to_worker: u64,
+    /// Frames worker → master.
+    pub frames_to_master: u64,
+    /// Payload bytes master → worker.
+    pub bytes_to_worker: u64,
+    /// Payload bytes worker → master.
+    pub bytes_to_master: u64,
+    /// Matrix blocks master → worker.
+    pub blocks_to_worker: u64,
+    /// Matrix blocks worker → master.
+    pub blocks_to_master: u64,
+    /// Nanoseconds the master port was held by this link.
+    pub port_busy_nanos: u64,
+}
+
+impl LinkSnapshot {
+    /// Total matrix blocks both directions.
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks_to_worker + self.blocks_to_master
+    }
+}
+
+impl LinkStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a master → worker frame.
+    pub fn record_to_worker(&self, bytes: usize, is_block: bool) {
+        self.inner.frames_to_worker.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_to_worker.fetch_add(bytes as u64, Ordering::Relaxed);
+        if is_block {
+            self.inner.blocks_to_worker.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a worker → master frame.
+    pub fn record_to_master(&self, bytes: usize, is_block: bool) {
+        self.inner.frames_to_master.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_to_master.fetch_add(bytes as u64, Ordering::Relaxed);
+        if is_block {
+            self.inner.blocks_to_master.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Add port-hold time for this link.
+    pub fn record_port_busy(&self, nanos: u64) {
+        self.inner.port_busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Copy the current values.
+    pub fn snapshot(&self) -> LinkSnapshot {
+        LinkSnapshot {
+            frames_to_worker: self.inner.frames_to_worker.load(Ordering::Relaxed),
+            frames_to_master: self.inner.frames_to_master.load(Ordering::Relaxed),
+            bytes_to_worker: self.inner.bytes_to_worker.load(Ordering::Relaxed),
+            bytes_to_master: self.inner.bytes_to_master.load(Ordering::Relaxed),
+            blocks_to_worker: self.inner.blocks_to_worker.load(Ordering::Relaxed),
+            blocks_to_master: self.inner.blocks_to_master.load(Ordering::Relaxed),
+            port_busy_nanos: self.inner.port_busy_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = LinkStats::new();
+        s.record_to_worker(100, true);
+        s.record_to_worker(9, false); // control frame: not a block
+        s.record_to_master(50, true);
+        s.record_port_busy(42);
+        let snap = s.snapshot();
+        assert_eq!(snap.frames_to_worker, 2);
+        assert_eq!(snap.bytes_to_worker, 109);
+        assert_eq!(snap.blocks_to_worker, 1);
+        assert_eq!(snap.frames_to_master, 1);
+        assert_eq!(snap.blocks_to_master, 1);
+        assert_eq!(snap.total_blocks(), 2);
+        assert_eq!(snap.port_busy_nanos, 42);
+    }
+
+    #[test]
+    fn clone_shares_counters() {
+        let s = LinkStats::new();
+        let t = s.clone();
+        t.record_to_worker(1, true);
+        assert_eq!(s.snapshot().frames_to_worker, 1);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let s = LinkStats::new();
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let s = s.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_to_worker(8, true);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().frames_to_worker, 4000);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for platform construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating a [`crate::Platform`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A platform must contain at least one worker.
+    NoWorkers,
+    /// Communication cost must be strictly positive and finite.
+    InvalidLinkCost {
+        /// Index (0-based) of the offending worker.
+        worker: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Computation cost must be strictly positive and finite.
+    InvalidComputeCost {
+        /// Index (0-based) of the offending worker.
+        worker: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A worker needs at least enough memory for the minimal working set of
+    /// the maximum re-use algorithm: one A block, one B block, one C block.
+    InsufficientMemory {
+        /// Index (0-based) of the offending worker.
+        worker: usize,
+        /// The rejected number of buffers.
+        buffers: usize,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoWorkers => write!(f, "platform has no workers"),
+            PlatformError::InvalidLinkCost { worker, value } => write!(
+                f,
+                "worker P{} has invalid link cost c = {value} (must be finite and > 0)",
+                worker + 1
+            ),
+            PlatformError::InvalidComputeCost { worker, value } => write!(
+                f,
+                "worker P{} has invalid compute cost w = {value} (must be finite and > 0)",
+                worker + 1
+            ),
+            PlatformError::InsufficientMemory { worker, buffers } => write!(
+                f,
+                "worker P{} has only {buffers} block buffers; at least 3 are required \
+                 (one each for A, B and C)",
+                worker + 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_worker_number() {
+        let e = PlatformError::InvalidLinkCost { worker: 0, value: -1.0 };
+        assert!(e.to_string().contains("P1"));
+        let e = PlatformError::InsufficientMemory { worker: 2, buffers: 2 };
+        assert!(e.to_string().contains("P3"));
+        assert!(PlatformError::NoWorkers.to_string().contains("no workers"));
+    }
+}

@@ -1,0 +1,142 @@
+//! A minimal human-editable text format for platform descriptions.
+//!
+//! One worker per line: `c w m`, whitespace-separated, with `#` comments
+//! and blank lines ignored. Example (the paper's Table 2):
+//!
+//! ```text
+//! # c     w     m
+//!   2.0   2.0   60
+//!   3.0   3.0   396
+//!   5.0   1.0   140
+//! ```
+//!
+//! Used by the `mwp-run` CLI's `--platform-file` flag; kept deliberately
+//! simpler than a serde format so cluster descriptions can be written by
+//! hand next to job scripts.
+
+use crate::error::PlatformError;
+use crate::platform::Platform;
+use crate::worker::WorkerParams;
+use std::fmt;
+
+/// Errors parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A line did not have exactly three fields.
+    WrongFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The parsed parameters were rejected by [`Platform::new`].
+    Invalid(PlatformError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::WrongFieldCount { line, found } => {
+                write!(f, "line {line}: expected 3 fields (c w m), found {found}")
+            }
+            ParseError::BadNumber { line, token } => {
+                write!(f, "line {line}: cannot parse {token:?} as a number")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid platform: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a platform from the text format.
+pub fn parse(text: &str) -> Result<Platform, ParseError> {
+    let mut workers = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(ParseError::WrongFieldCount { line, found: fields.len() });
+        }
+        let num = |tok: &str| -> Result<f64, ParseError> {
+            tok.parse()
+                .map_err(|_| ParseError::BadNumber { line, token: tok.to_string() })
+        };
+        let c = num(fields[0])?;
+        let w = num(fields[1])?;
+        let m = num(fields[2])? as usize;
+        workers.push(WorkerParams::new(c, w, m));
+    }
+    Platform::new(workers).map_err(ParseError::Invalid)
+}
+
+/// Render a platform in the text format (round-trips through [`parse`]).
+pub fn render(platform: &Platform) -> String {
+    let mut out = String::from("# c w m (per-block comm cost, per-update compute cost, buffers)\n");
+    for (_, wk) in platform.iter() {
+        out.push_str(&format!("{} {} {}\n", wk.c, wk.w, wk.m));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_table2_with_comments() {
+        let text = "# the paper's Table 2\n 2.0 2.0 60\n\n3.0 3.0 396 # P2\n5.0 1.0 140\n";
+        let pf = parse(text).unwrap();
+        assert_eq!(pf.len(), 3);
+        assert_eq!(pf.workers()[1].m, 396);
+        assert_eq!(pf.workers()[2].c, 5.0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let pf = Platform::new(vec![
+            WorkerParams::new(1.5, 0.25, 12),
+            WorkerParams::new(4.0, 2.0, 999),
+        ])
+        .unwrap();
+        let text = render(&pf);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, pf);
+    }
+
+    #[test]
+    fn reports_field_count_errors_with_line_numbers() {
+        let err = parse("1.0 2.0 60\n1.0 2.0\n").unwrap_err();
+        assert_eq!(err, ParseError::WrongFieldCount { line: 2, found: 2 });
+    }
+
+    #[test]
+    fn reports_bad_numbers() {
+        let err = parse("1.0 fast 60\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadNumber { line: 1, .. }));
+        assert!(err.to_string().contains("fast"));
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let err = parse("0.0 1.0 60\n").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(PlatformError::InvalidLinkCost { .. })));
+    }
+
+    #[test]
+    fn empty_input_is_no_workers() {
+        let err = parse("# just comments\n\n").unwrap_err();
+        assert_eq!(err, ParseError::Invalid(PlatformError::NoWorkers));
+    }
+}

@@ -1,0 +1,75 @@
+//! Heterogeneous scheduling walkthrough on the paper's Table 2 platform:
+//! steady-state bound, the three incremental selection rules, and the
+//! two-phase simulated execution.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_cluster
+//! ```
+
+use master_worker_matrix::prelude::*;
+use mwp_core::algorithms::heterogeneous::simulate_heterogeneous;
+use mwp_core::selection::incremental::{asymptotic_ratio, run_selection_with_mu};
+
+fn main() {
+    // Table 2: three workers with very different links, speeds, memories.
+    let platform = Platform::new(vec![
+        WorkerParams::new(2.0, 2.0, 60),  // P1: µ = 6
+        WorkerParams::new(3.0, 3.0, 396), // P2: µ = 18
+        WorkerParams::new(5.0, 1.0, 140), // P3: µ = 10
+    ])
+    .expect("valid platform");
+    let mu = vec![6, 18, 10];
+
+    // ------------------------------------------------------------------
+    // 1. Steady-state (bandwidth-centric) upper bound.
+    // ------------------------------------------------------------------
+    let ss = steady_state(&platform);
+    println!("steady-state bound: ρ = {:.4} block updates / time unit", ss.throughput);
+    for e in &ss.enrolled {
+        println!(
+            "  {} enrolled at rate {:.4} ({}% of the port)",
+            e.worker,
+            e.rate,
+            (e.port_share * 100.0).round()
+        );
+    }
+    println!("  memory-feasible as-is: {}\n", ss.memory_feasible(&platform));
+
+    // ------------------------------------------------------------------
+    // 2. Incremental selection: the paper's three variants.
+    // ------------------------------------------------------------------
+    for (rule, paper) in [
+        (SelectionRule::Global, 1.17),
+        (SelectionRule::Local, 1.21),
+        (SelectionRule::TwoStepLookahead, 1.30),
+    ] {
+        let ratio = asymptotic_ratio(&platform, &mu, rule, 1_000_000);
+        println!("{rule:?}: asymptotic ratio {ratio:.3} (paper: {paper})");
+    }
+
+    // First selections of Algorithm 3 (the paper's worked example).
+    let trace = run_selection_with_mu(&platform, &mu, SelectionRule::Global, 36, 36, 4);
+    let first: Vec<String> = trace.steps.iter().take(5).map(|s| s.worker.to_string()).collect();
+    println!("\nAlgorithm 3 first selections: {} (paper: P2, P1, P3, …)", first.join(", "));
+
+    // ------------------------------------------------------------------
+    // 3. Two-phase execution, simulated end to end.
+    // ------------------------------------------------------------------
+    let problem = Partition::from_blocks(36, 72, 200, 80);
+    println!("\ntwo-phase execution of {problem}:");
+    for rule in [
+        SelectionRule::Global,
+        SelectionRule::Local,
+        SelectionRule::TwoStepLookahead,
+    ] {
+        let report = simulate_heterogeneous(&platform, &problem, rule).expect("simulation");
+        println!(
+            "  {rule:?}: makespan {:.0}, throughput {:.3} ({}% of steady state), \
+             {} workers active",
+            report.makespan.value(),
+            report.throughput(),
+            (100.0 * report.throughput() / ss.throughput).round(),
+            report.workers_used()
+        );
+    }
+}
