@@ -34,16 +34,19 @@ fn bench_matrix_gemm(c: &mut Criterion) {
     let q = 40;
     let a = random_matrix(6, 6, q, 1);
     let b = random_matrix(6, 6, q, 2);
+    // Clone a pre-generated C per iteration so the timing measures the
+    // product, not the RNG.
+    let c0 = random_matrix(6, 6, q, 3);
     g.bench_function("serial_6x6_q40", |bch| {
         bch.iter(|| {
-            let mut cmat = random_matrix(6, 6, q, 3);
+            let mut cmat = c0.clone();
             gemm_serial(&mut cmat, black_box(&a), &b);
             cmat
         })
     });
     g.bench_function("rayon_6x6_q40", |bch| {
         bch.iter(|| {
-            let mut cmat = random_matrix(6, 6, q, 3);
+            let mut cmat = c0.clone();
             gemm_parallel(&mut cmat, black_box(&a), &b);
             cmat
         })

@@ -1,0 +1,153 @@
+//! Perf-baseline measurement: the fixed workload set whose timings gate
+//! hot-path optimizations.
+//!
+//! The `bench_baseline` binary measures these workloads and either writes
+//! them to `BENCH_baseline.json` (`--write`) or compares the current build
+//! against a previously recorded file (`--compare`), printing per-workload
+//! speedups. The workload parameters intentionally mirror the
+//! `benches/kernels.rs` criterion benches so the two report the same
+//! hot paths.
+
+use mwp_blockmat::fill::{random_block, random_matrix};
+use mwp_blockmat::gemm::{gemm_parallel, gemm_serial};
+use mwp_blockmat::Block;
+use mwp_core::runtime::run_holm;
+use mwp_platform::Platform;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Workload name (stable across recordings).
+    pub name: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub ns_per_iter: f64,
+}
+
+/// Time `f` adaptively: calibrate, then take the best of three samples of
+/// a ~200 ms measurement pass (best-of guards against scheduler noise).
+pub fn time_workload<O>(mut f: impl FnMut() -> O) -> f64 {
+    let budget = Duration::from_millis(200);
+    // Calibration.
+    let start = Instant::now();
+    black_box(f());
+    let per = start.elapsed().max(Duration::from_nanos(50));
+    let iters = (budget.as_nanos() / per.as_nanos()).clamp(1, 5_000_000) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+/// Measure every baseline workload.
+pub fn measure_all() -> Vec<Measurement> {
+    let mut out = Vec::new();
+
+    // The paper's unit of computation: one q = 80 block update.
+    {
+        let a = random_block(80, 1);
+        let b = random_block(80, 2);
+        let mut c = Block::zeros(80);
+        let ns = time_workload(|| c.gemm_acc(black_box(&a), black_box(&b)));
+        out.push(Measurement { name: "gemm_acc/q80".into(), ns_per_iter: ns });
+    }
+
+    // Whole-matrix products, serial and parallel (6×6 blocks of q = 40,
+    // matching `kernels.rs/matrix_gemm`).
+    {
+        let q = 40;
+        let a = random_matrix(6, 6, q, 1);
+        let b = random_matrix(6, 6, q, 2);
+        let c0 = random_matrix(6, 6, q, 3);
+        let ns = time_workload(|| {
+            let mut c = c0.clone();
+            gemm_serial(&mut c, black_box(&a), &b);
+            c
+        });
+        out.push(Measurement { name: "gemm_serial/6x6_q40".into(), ns_per_iter: ns });
+        let ns = time_workload(|| {
+            let mut c = c0.clone();
+            gemm_parallel(&mut c, black_box(&a), &b);
+            c
+        });
+        out.push(Measurement { name: "gemm_parallel/6x6_q40".into(), ns_per_iter: ns });
+    }
+
+    // The end-to-end threaded runtime (matching `kernels.rs/threaded_runtime`).
+    {
+        let pf = Platform::homogeneous(4, 4.0, 1.0, 60).expect("valid platform");
+        let q = 20;
+        let a = random_matrix(6, 6, q, 10);
+        let b = random_matrix(6, 8, q, 11);
+        let c0 = random_matrix(6, 8, q, 12);
+        let ns = time_workload(|| {
+            run_holm(black_box(&pf), &a, &b, c0.clone(), 0.0)
+                .expect("runtime succeeds")
+                .blocks_moved
+        });
+        out.push(Measurement { name: "run_holm/6x6x8_q20".into(), ns_per_iter: ns });
+    }
+
+    out
+}
+
+/// Render measurements as the `BENCH_baseline.json` document.
+pub fn to_json(measurements: &[Measurement], label: &str) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"label\": \"{label}\",\n"));
+    s.push_str("  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}}}{comma}\n",
+            m.name, m.ns_per_iter
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parse the document written by [`to_json`] (line-oriented; this is not a
+/// general JSON parser and only reads its own output format).
+pub fn from_json(doc: &str) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("{\"name\": \"") else { continue };
+        let Some((name, rest)) = rest.split_once("\", \"ns_per_iter\": ") else { continue };
+        let num = rest.trim_end_matches(['}', ',', ' ']);
+        if let Ok(ns) = num.parse::<f64>() {
+            out.push(Measurement { name: name.to_string(), ns_per_iter: ns });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let ms = vec![
+            Measurement { name: "a/b".into(), ns_per_iter: 1234.5 },
+            Measurement { name: "c".into(), ns_per_iter: 7.0 },
+        ];
+        let doc = to_json(&ms, "test");
+        let back = from_json(&doc);
+        assert_eq!(back, ms);
+    }
+
+    #[test]
+    fn timing_returns_positive() {
+        let ns = time_workload(|| std::hint::black_box(1 + 1));
+        assert!(ns > 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Record or compare the hot-path perf baseline.
+//!
+//! ```text
+//! cargo run --release -p mwp-bench --bin bench_baseline -- --write [PATH]
+//! cargo run --release -p mwp-bench --bin bench_baseline -- --compare [PATH]
+//! ```
+//!
+//! `--write` measures the fixed workload set and writes `PATH` (default
+//! `BENCH_baseline.json`). `--compare` measures the current build and
+//! prints the speedup of each workload against the recorded baseline.
+
+use mwp_bench::baseline::{from_json, measure_all, to_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("--compare");
+    let path = args.get(1).map(String::as_str).unwrap_or("BENCH_baseline.json");
+
+    match mode {
+        "--write" => {
+            let ms = measure_all();
+            for m in &ms {
+                println!("{:<28} {:>14.1} ns/iter", m.name, m.ns_per_iter);
+            }
+            let doc = to_json(&ms, "pre-optimization baseline");
+            std::fs::write(path, doc).expect("write baseline file");
+            println!("baseline written to {path}");
+        }
+        "--compare" => {
+            let doc = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read {path}: {e} (record one with --write)"));
+            let baseline = from_json(&doc);
+            assert!(!baseline.is_empty(), "no benchmarks parsed from {path}");
+            let current = measure_all();
+            println!(
+                "{:<28} {:>14} {:>14} {:>9}",
+                "workload", "baseline ns", "current ns", "speedup"
+            );
+            let mut worst: f64 = f64::INFINITY;
+            for c in &current {
+                let Some(b) = baseline.iter().find(|b| b.name == c.name) else {
+                    println!("{:<28} {:>14} {:>14.1} {:>9}", c.name, "-", c.ns_per_iter, "new");
+                    continue;
+                };
+                let speedup = b.ns_per_iter / c.ns_per_iter;
+                worst = worst.min(speedup);
+                println!(
+                    "{:<28} {:>14.1} {:>14.1} {:>8.2}x",
+                    c.name, b.ns_per_iter, c.ns_per_iter, speedup
+                );
+            }
+            println!("worst speedup vs baseline: {worst:.2}x");
+        }
+        other => {
+            eprintln!("unknown mode {other}; use --write or --compare");
+            std::process::exit(2);
+        }
+    }
+}

@@ -548,24 +548,29 @@ pub fn e14_two_port_ablation(f: Fidelity) -> Table {
 }
 
 /// All experiments in order.
+///
+/// The experiments are independent of each other, so they run in parallel
+/// with rayon; the returned tables keep the paper's order.
 pub fn all(f: Fidelity) -> Vec<Table> {
-    vec![
-        e1_alternating(f),
-        e2_fig4a(f),
-        e3_fig4b(f),
-        e4_bounds(f),
-        e5_table1(f),
-        e6_global_selection(f),
-        e6b_heterogeneous_execution(f),
-        e7_selection_variants(f),
-        e8_fig10(f),
-        e9_fig11(f),
-        e10_fig12(f),
-        e11_fig13(f),
-        e12_lu(f),
-        e13_heterogeneity_sweep(f),
-        e14_two_port_ablation(f),
-    ]
+    use rayon::prelude::*;
+    let runs: Vec<fn(Fidelity) -> Table> = vec![
+        e1_alternating,
+        e2_fig4a,
+        e3_fig4b,
+        e4_bounds,
+        e5_table1,
+        e6_global_selection,
+        e6b_heterogeneous_execution,
+        e7_selection_variants,
+        e8_fig10,
+        e9_fig11,
+        e10_fig12,
+        e11_fig13,
+        e12_lu,
+        e13_heterogeneity_sweep,
+        e14_two_port_ablation,
+    ];
+    runs.into_par_iter().map(|exp| exp(f)).collect()
 }
 
 /// Helper for tests and the binary: does HoLM use at most as many workers

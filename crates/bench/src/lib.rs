@@ -21,6 +21,7 @@
 //! (`cargo run --release -p mwp-bench --bin experiments`); the
 //! Criterion benches under `benches/` time the same workloads.
 
+pub mod baseline;
 pub mod calibrate;
 pub mod experiments;
 pub mod table;

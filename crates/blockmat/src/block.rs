@@ -84,8 +84,13 @@ impl Block {
 
     /// The block update `self += a · b` — the paper's unit of computation.
     ///
-    /// Uses a cache-tiled i-k-j loop nest: the inner loop is a contiguous
-    /// axpy over a row of `b` and a row of `self`, which LLVM vectorizes.
+    /// Uses a cache-tiled i-k-j loop nest with the k dimension unrolled
+    /// four-wide: each pass streams four `b` rows against one `c` row, so
+    /// the `c` row is loaded and stored once per four rank-1 updates
+    /// instead of once per update. The per-`j` accumulation order over `k`
+    /// is identical to the rolled loop, so results are bit-for-bit the
+    /// same — and there is no data-dependent branch in the inner loop to
+    /// block vectorization.
     pub fn gemm_acc(&mut self, a: &Block, b: &Block) {
         let q = self.q;
         assert_eq!(a.q, q, "A side must match C");
@@ -100,16 +105,35 @@ impl Block {
             while kk < q {
                 let k_end = (kk + TILE).min(q);
                 for i in ii..i_end {
-                    let crow = &mut cv[i * q..(i + 1) * q];
-                    for k in kk..k_end {
-                        let aik = av[i * q + k];
-                        if aik == 0.0 {
-                            continue;
+                    let arow = &av[i * q..][..q];
+                    let crow = &mut cv[i * q..][..q];
+                    let mut k = kk;
+                    while k + 4 <= k_end {
+                        let a0 = arow[k];
+                        let a1 = arow[k + 1];
+                        let a2 = arow[k + 2];
+                        let a3 = arow[k + 3];
+                        let b0 = &bv[k * q..][..q];
+                        let b1 = &bv[(k + 1) * q..][..q];
+                        let b2 = &bv[(k + 2) * q..][..q];
+                        let b3 = &bv[(k + 3) * q..][..q];
+                        for j in 0..q {
+                            let mut s = crow[j];
+                            s += a0 * b0[j];
+                            s += a1 * b1[j];
+                            s += a2 * b2[j];
+                            s += a3 * b3[j];
+                            crow[j] = s;
                         }
-                        let brow = &bv[k * q..(k + 1) * q];
+                        k += 4;
+                    }
+                    while k < k_end {
+                        let aik = arow[k];
+                        let brow = &bv[k * q..][..q];
                         for (cj, bj) in crow.iter_mut().zip(brow.iter()) {
                             *cj += aik * *bj;
                         }
+                        k += 1;
                     }
                 }
                 kk = k_end;
@@ -152,20 +176,63 @@ impl Block {
     /// Serialize to little-endian bytes (for the message layer).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.byte_len());
-        for v in &self.data {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
+        self.write_bytes_into(&mut out);
         out
+    }
+
+    /// Append this block's little-endian byte image to `out`.
+    ///
+    /// On little-endian targets this is a single bulk copy of the
+    /// coefficient storage; the portable fallback converts per element.
+    pub fn write_bytes_into(&self, out: &mut Vec<u8>) {
+        #[cfg(target_endian = "little")]
+        {
+            // f64 has no padding and any byte pattern is a valid read, so
+            // viewing the coefficient slice as raw bytes is sound.
+            let raw = unsafe {
+                std::slice::from_raw_parts(self.data.as_ptr().cast::<u8>(), self.byte_len())
+            };
+            out.extend_from_slice(raw);
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            out.reserve(self.byte_len());
+            for v in &self.data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
     }
 
     /// Deserialize from little-endian bytes produced by [`Block::to_bytes`].
     pub fn from_bytes(q: usize, bytes: &[u8]) -> Self {
-        assert_eq!(bytes.len(), q * q * 8, "byte length must be 8q²");
-        let data = bytes
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
-            .collect();
-        Block { q, data }
+        let mut b = Block::zeros(q);
+        b.copy_from_bytes(bytes);
+        b
+    }
+
+    /// Overwrite this block's coefficients from a little-endian byte image
+    /// — the allocation-free receive path for reusable scratch blocks.
+    pub fn copy_from_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(bytes.len(), self.byte_len(), "byte length must be 8q²");
+        #[cfg(target_endian = "little")]
+        {
+            // Byte-wise copy into the (f64-aligned) destination; the
+            // source carries no alignment guarantee, which a byte copy
+            // does not need.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    bytes.as_ptr(),
+                    self.data.as_mut_ptr().cast::<u8>(),
+                    bytes.len(),
+                );
+            }
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            for (d, c) in self.data.iter_mut().zip(bytes.chunks_exact(8)) {
+                *d = f64::from_le_bytes(c.try_into().expect("chunks_exact(8)"));
+            }
+        }
     }
 }
 

@@ -24,29 +24,20 @@ pub fn gemm_serial(c: &mut BlockMatrix, a: &BlockMatrix, b: &BlockMatrix) {
 /// Rayon-parallel `C ← C + A × B`: each C block is an independent task, so
 /// this is an embarrassingly parallel loop over `r·s` block dot-products.
 ///
+/// C blocks are updated **in place** through `par_iter_mut` over the block
+/// store — no clone of the C grid, no intermediate collect, no re-insert.
 /// Results are bit-identical to [`gemm_serial`] — both accumulate over `k`
 /// in increasing order within each C block, and C blocks never share state.
 pub fn gemm_parallel(c: &mut BlockMatrix, a: &BlockMatrix, b: &BlockMatrix) {
     check_conformance(c, a, b);
     let t = a.cols();
     let cols = c.cols();
-    // Split the C grid into rows and parallelize over (row index, row data).
-    // We rebuild via from_fn to avoid unsafe aliasing of the block store.
-    let computed: Vec<crate::block::Block> = (0..c.rows() * cols)
-        .into_par_iter()
-        .map(|idx| {
-            let i = idx / cols;
-            let j = idx % cols;
-            let mut cij = c.block(i, j).clone();
-            for k in 0..t {
-                cij.gemm_acc(a.block(i, k), b.block(k, j));
-            }
-            cij
-        })
-        .collect();
-    for (idx, blk) in computed.into_iter().enumerate() {
-        c.set_block(idx / cols, idx % cols, blk);
-    }
+    c.blocks_mut().par_iter_mut().enumerate().for_each(|(idx, cij)| {
+        let (i, j) = (idx / cols, idx % cols);
+        for k in 0..t {
+            cij.gemm_acc(a.block(i, k), b.block(k, j));
+        }
+    });
 }
 
 /// `C ← C + A × B` into a fresh zero C, serial.

@@ -13,6 +13,8 @@
 //!   dimensions and block size,
 //! * [`gemm`] — whole-matrix serial and rayon-parallel multiplication used
 //!   as ground truth by runtime verification,
+//! * [`payload`] — zero-copy wire payloads: a matrix serialized once into
+//!   a shared buffer, blocks handed out as refcounted slices,
 //! * [`lu`] — the dense kernels for the Section 7 LU extension (unblocked
 //!   factorization, triangular panel updates, rank-µ update).
 //!
@@ -26,7 +28,9 @@ pub mod lu;
 pub mod matrix;
 pub mod norms;
 pub mod partition;
+pub mod payload;
 
 pub use block::Block;
 pub use matrix::BlockMatrix;
 pub use partition::Partition;
+pub use payload::SharedPayloads;

@@ -51,6 +51,18 @@ impl Dense {
         self.cols
     }
 
+    /// The coefficients as one row-major slice (for bulk serialization).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major coefficient slice (for bulk deserialization).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Convert a [`BlockMatrix`] to dense form.
     pub fn from_blocks(m: &BlockMatrix) -> Self {
         let (rows, cols) = m.dims();

@@ -1,0 +1,192 @@
+//! Zero-copy block payloads: serialize a matrix once, fan blocks out as
+//! reference-counted slices.
+//!
+//! The master-worker runtimes repeatedly send the *same* `A`/`B` blocks to
+//! several workers (the paper's schedules re-send each `B` row block to
+//! every enrolled worker). Serializing per send made every one of those a
+//! fresh ~`8q²`-byte allocation plus copy. [`SharedPayloads`] instead
+//! serializes the whole matrix into **one** contiguous buffer up front;
+//! [`SharedPayloads::get`] returns a [`Bytes`] slice into that buffer, so
+//! a fan-out to `k` workers costs `k` refcount bumps and zero copies —
+//! every frame carrying block `(i, j)` shares the same backing storage.
+//!
+//! Runs of adjacent blocks are also single slices: with the default
+//! row-major layout a stretch of one block row ([`SharedPayloads::row_run`])
+//! is contiguous, and with [`SharedPayloads::new_col_major`] a stretch of
+//! one block column ([`SharedPayloads::col_run`]) is. The runtimes use
+//! this to ship a whole `B` row or `A` column as **one** zero-copy frame.
+
+use crate::matrix::BlockMatrix;
+use bytes::Bytes;
+
+/// Storage order of the serialized blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockOrder {
+    /// Block `(i, j)` at index `i·cols + j` — block rows are contiguous.
+    RowMajor,
+    /// Block `(i, j)` at index `j·rows + i` — block columns are contiguous.
+    ColMajor,
+}
+
+/// Immutable per-block wire payloads of a matrix, backed by one shared
+/// buffer.
+///
+/// Build once per runtime execution for each input matrix; `get` as often
+/// as the schedule demands.
+#[derive(Clone)]
+pub struct SharedPayloads {
+    data: Bytes,
+    rows: usize,
+    cols: usize,
+    block_bytes: usize,
+    order: BlockOrder,
+}
+
+impl SharedPayloads {
+    /// Serialize every block of `m` in row-major block order (block rows
+    /// contiguous) into a single shared buffer.
+    pub fn new(m: &BlockMatrix) -> Self {
+        Self::build(m, BlockOrder::RowMajor)
+    }
+
+    /// Serialize in column-major block order (block columns contiguous) —
+    /// the layout that makes `A`-column streaming a single slice.
+    pub fn new_col_major(m: &BlockMatrix) -> Self {
+        Self::build(m, BlockOrder::ColMajor)
+    }
+
+    fn build(m: &BlockMatrix, order: BlockOrder) -> Self {
+        let block_bytes = m.q() * m.q() * 8;
+        let mut buf = Vec::with_capacity(block_bytes * m.rows() * m.cols());
+        match order {
+            BlockOrder::RowMajor => {
+                for (_, _, b) in m.iter_blocks() {
+                    b.write_bytes_into(&mut buf);
+                }
+            }
+            BlockOrder::ColMajor => {
+                for j in 0..m.cols() {
+                    for i in 0..m.rows() {
+                        m.block(i, j).write_bytes_into(&mut buf);
+                    }
+                }
+            }
+        }
+        SharedPayloads {
+            data: Bytes::from(buf),
+            rows: m.rows(),
+            cols: m.cols(),
+            block_bytes,
+            order,
+        }
+    }
+
+    fn offset(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.rows && j < self.cols, "block index out of range");
+        let idx = match self.order {
+            BlockOrder::RowMajor => i * self.cols + j,
+            BlockOrder::ColMajor => j * self.rows + i,
+        };
+        idx * self.block_bytes
+    }
+
+    /// The wire payload of block `(i, j)` — a refcount bump, never a copy.
+    pub fn get(&self, i: usize, j: usize) -> Bytes {
+        let start = self.offset(i, j);
+        self.data.slice(start..start + self.block_bytes)
+    }
+
+    /// The payload of `n` adjacent blocks `(i, j0) .. (i, j0 + n)` of one
+    /// block row as a single zero-copy slice (row-major layouts only).
+    pub fn row_run(&self, i: usize, j0: usize, n: usize) -> Bytes {
+        assert_eq!(self.order, BlockOrder::RowMajor, "row runs need the row-major layout");
+        assert!(n >= 1 && j0 + n <= self.cols, "run exceeds the block row");
+        let start = self.offset(i, j0);
+        self.data.slice(start..start + n * self.block_bytes)
+    }
+
+    /// The payload of `n` adjacent blocks `(i0, j) .. (i0 + n, j)` of one
+    /// block column as a single zero-copy slice (col-major layouts only).
+    pub fn col_run(&self, i0: usize, j: usize, n: usize) -> Bytes {
+        assert_eq!(self.order, BlockOrder::ColMajor, "column runs need the col-major layout");
+        assert!(n >= 1 && i0 + n <= self.rows, "run exceeds the block column");
+        let start = self.offset(i0, j);
+        self.data.slice(start..start + n * self.block_bytes)
+    }
+
+    /// Payload size of one block in bytes (`8q²`).
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use crate::fill::random_matrix;
+
+    #[test]
+    fn payloads_match_per_block_serialization() {
+        let m = random_matrix(3, 4, 8, 7);
+        for p in [SharedPayloads::new(&m), SharedPayloads::new_col_major(&m)] {
+            for (i, j, b) in m.iter_blocks() {
+                assert_eq!(&*p.get(i, j), b.to_bytes().as_slice(), "block ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_gets_share_one_buffer() {
+        let m = random_matrix(2, 2, 16, 1);
+        let p = SharedPayloads::new(&m);
+        let a = p.get(1, 0);
+        let b = p.get(1, 0);
+        assert_eq!(a.as_ptr(), b.as_ptr(), "fan-out must not copy");
+        // Different blocks also live in the same backing buffer.
+        let c = p.get(0, 0);
+        let gap = a.as_ptr() as usize - c.as_ptr() as usize;
+        assert_eq!(gap, 2 * p.block_bytes());
+    }
+
+    #[test]
+    fn row_run_is_one_slice_of_blockwise_content() {
+        let m = random_matrix(3, 5, 4, 9);
+        let p = SharedPayloads::new(&m);
+        let run = p.row_run(2, 1, 3);
+        assert_eq!(run.len(), 3 * p.block_bytes());
+        assert_eq!(run.as_ptr(), p.get(2, 1).as_ptr(), "run starts at first block, zero-copy");
+        for (w, j) in (1..4).enumerate() {
+            let bb = p.block_bytes();
+            assert_eq!(&run[w * bb..(w + 1) * bb], &*p.get(2, j), "block (2,{j})");
+        }
+    }
+
+    #[test]
+    fn col_run_is_one_slice_of_blockwise_content() {
+        let m = random_matrix(5, 3, 4, 11);
+        let p = SharedPayloads::new_col_major(&m);
+        let run = p.col_run(1, 2, 4);
+        assert_eq!(run.len(), 4 * p.block_bytes());
+        assert_eq!(run.as_ptr(), p.get(1, 2).as_ptr());
+        for (w, i) in (1..5).enumerate() {
+            let bb = p.block_bytes();
+            assert_eq!(&run[w * bb..(w + 1) * bb], &*p.get(i, 2), "block ({i},2)");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_block() {
+        let m = random_matrix(2, 3, 5, 3);
+        let p = SharedPayloads::new(&m);
+        let back = Block::from_bytes(5, &p.get(1, 2));
+        assert_eq!(&back, m.block(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "row runs need the row-major layout")]
+    fn row_run_rejected_on_col_major() {
+        let m = random_matrix(2, 2, 4, 1);
+        let _ = SharedPayloads::new_col_major(&m).row_run(0, 0, 2);
+    }
+}

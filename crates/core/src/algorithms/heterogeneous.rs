@@ -12,7 +12,7 @@ use crate::layout::MemoryLayout;
 use crate::selection::incremental::{run_selection_with_mu, SelectionRule};
 use mwp_blockmat::Partition;
 use mwp_platform::{Platform, WorkerId};
-use mwp_sim::{Decision, MasterPolicy, SimReport, SimTime, Simulator, WorkerView};
+use mwp_sim::{label_if, Decision, MasterPolicy, SimReport, SimTime, Simulator, WorkerView};
 use std::collections::VecDeque;
 
 /// Replays a phase-1 selection as a simulator policy.
@@ -32,6 +32,8 @@ pub struct HeterogeneousPolicy {
     pending: VecDeque<Decision>,
     /// Workers holding a finished chunk that still must be returned.
     outstanding: VecDeque<WorkerId>,
+    /// Whether per-event labels should be formatted (trace on).
+    labels: bool,
 }
 
 impl HeterogeneousPolicy {
@@ -46,6 +48,7 @@ impl HeterogeneousPolicy {
             t,
             pending: VecDeque::new(),
             outstanding: VecDeque::new(),
+            labels: true,
         }
     }
 
@@ -63,6 +66,10 @@ impl HeterogeneousPolicy {
 }
 
 impl MasterPolicy for HeterogeneousPolicy {
+    fn trace_labels(&mut self, enabled: bool) {
+        self.labels = enabled;
+    }
+
     fn next(&mut self, _now: SimTime, _workers: &[WorkerView]) -> Decision {
         loop {
             if let Some(d) = self.pending.pop_front() {
@@ -84,7 +91,7 @@ impl MasterPolicy for HeterogeneousPolicy {
                                 from: worker,
                                 blocks: mu * mu,
                                 mem_delta: -((mu * mu) as i64),
-                                label: format!("C chunk back from {worker}"),
+                                label: label_if(self.labels, || format!("C chunk back from {worker}")),
                             });
                         }
                         let mut mem = (mu * mu) as i64;
@@ -97,7 +104,7 @@ impl MasterPolicy for HeterogeneousPolicy {
                             blocks: mu * mu,
                             spawn_updates: 0,
                             mem_delta: mem,
-                            label: format!("C chunk to {worker}"),
+                            label: label_if(self.labels, || format!("C chunk to {worker}")),
                         });
                         self.rounds_left[i] = self.t;
                     }
@@ -107,7 +114,7 @@ impl MasterPolicy for HeterogeneousPolicy {
                         blocks: 2 * mu,
                         spawn_updates: mu * mu,
                         mem_delta: 0,
-                        label: format!("A+B round to {worker}"),
+                        label: label_if(self.labels, || format!("A+B round to {worker}")),
                     });
                     self.rounds_left[i] -= 1;
                     if self.rounds_left[i] == 0 {
@@ -122,7 +129,7 @@ impl MasterPolicy for HeterogeneousPolicy {
                             from: worker,
                             blocks: mu * mu,
                             mem_delta: -((mu * mu) as i64),
-                            label: format!("final C chunk from {worker}"),
+                            label: label_if(self.labels, || format!("final C chunk from {worker}")),
                         });
                         continue;
                     }

@@ -19,7 +19,7 @@ use crate::layout::MemoryLayout;
 use crate::selection::homogeneous::select_homogeneous;
 use mwp_blockmat::Partition;
 use mwp_platform::{Platform, WorkerId};
-use mwp_sim::{Decision, MasterPolicy, SimTime, WorkerView};
+use mwp_sim::{label_if, Decision, MasterPolicy, SimTime, WorkerView};
 use std::collections::VecDeque;
 
 /// How the master chooses which worker to serve next.
@@ -82,6 +82,9 @@ pub struct SuitePolicy {
     turn: usize,
     /// Messages already decided but not yet handed to the engine.
     pending: VecDeque<Decision>,
+    /// Whether the engine records a trace; when false, per-event labels
+    /// are skipped so the hot loop allocates nothing.
+    labels: bool,
 }
 
 impl SuitePolicy {
@@ -149,6 +152,7 @@ impl SuitePolicy {
                 .collect(),
             turn: 0,
             pending: VecDeque::new(),
+            labels: true,
         })
     }
 
@@ -234,7 +238,7 @@ impl SuitePolicy {
                     blocks: chunk.blocks(),
                     spawn_updates: 0,
                     mem_delta: mem,
-                    label: format!("C[{},{}]", chunk.i0, chunk.j0),
+                    label: label_if(self.labels, || format!("C[{},{}]", chunk.i0, chunk.j0)),
                 });
                 self.runs[w].chunk = Some((chunk, Stage::Round(0)));
             }
@@ -248,7 +252,7 @@ impl SuitePolicy {
                         blocks: chunk.width as u64,
                         spawn_updates: 0,
                         mem_delta: 0,
-                        label: format!("B[{k},*]"),
+                        label: label_if(self.labels, || format!("B[{k},*]")),
                     });
                     for row in 0..chunk.height {
                         self.pending.push_back(Decision::Send {
@@ -256,7 +260,7 @@ impl SuitePolicy {
                             blocks: 1,
                             spawn_updates: chunk.width as u64,
                             mem_delta: 0,
-                            label: format!("A[{},{k}]", chunk.i0 + row),
+                            label: label_if(self.labels, || format!("A[{},{k}]", chunk.i0 + row)),
                         });
                     }
                 } else {
@@ -267,14 +271,14 @@ impl SuitePolicy {
                         blocks: (chunk.height * kw) as u64,
                         spawn_updates: 0,
                         mem_delta: 0,
-                        label: format!("Asq[k={k}]"),
+                        label: label_if(self.labels, || format!("Asq[k={k}]")),
                     });
                     self.pending.push_back(Decision::Send {
                         to,
                         blocks: (kw * chunk.width) as u64,
                         spawn_updates: (chunk.height * chunk.width * kw) as u64,
                         mem_delta: 0,
-                        label: format!("Bsq[k={k}]"),
+                        label: label_if(self.labels, || format!("Bsq[k={k}]")),
                     });
                 }
                 let next_k = k + kw;
@@ -286,7 +290,7 @@ impl SuitePolicy {
                     from: to,
                     blocks: chunk.blocks(),
                     mem_delta: -(chunk.blocks() as i64),
-                    label: format!("C[{},{}]", chunk.i0, chunk.j0),
+                    label: label_if(self.labels, || format!("C[{},{}]", chunk.i0, chunk.j0)),
                 });
                 self.runs[w].chunk = None;
             }
@@ -395,6 +399,10 @@ impl SuitePolicy {
 }
 
 impl MasterPolicy for SuitePolicy {
+    fn trace_labels(&mut self, enabled: bool) {
+        self.labels = enabled;
+    }
+
     fn next(&mut self, now: SimTime, workers: &[WorkerView]) -> Decision {
         loop {
             if let Some(d) = self.pending.pop_front() {

@@ -17,9 +17,10 @@
 use crate::chunks::{self, Chunk};
 use crate::selection::homogeneous::select_homogeneous;
 use bytes::Bytes;
-use mwp_blockmat::{Block, BlockMatrix};
+use mwp_blockmat::{Block, BlockMatrix, SharedPayloads};
 use mwp_msg::{Frame, FrameKind, StarNetwork, Tag, WorkerEndpoint};
 use mwp_platform::{Platform, WorkerId};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::thread;
 use std::time::Instant;
@@ -137,6 +138,14 @@ fn run_inner(
     // Unenrolled workers' endpoints dropped: their channels just close.
 
     let start = Instant::now();
+    // Serialize the immutable inputs once; every send below is a refcount
+    // bump into these shared buffers (a B row fanned out to all enrolled
+    // workers costs one buffer total). B is laid out row-major so a row
+    // stretch is one contiguous slice; A col-major so a column stretch is.
+    let ap = SharedPayloads::new_col_major(a);
+    let bp = SharedPayloads::new(b);
+    // Recycled buffers for the (mutable, serialize-on-demand) C sends.
+    let cpool = mwp_msg::BufferPool::new();
     let problem = mwp_blockmat::Partition::from_blocks(r, s, t, q);
     let mut tiles = chunks::tile(&problem, mu);
     let band = (mu * enrolled).max(1);
@@ -150,37 +159,35 @@ fn run_inner(
             .map(|(idx, ch)| (WorkerId(idx), ch))
             .collect();
 
-        // 1. Ship each worker its C chunk.
+        // 1. Ship each worker its C chunk, one run frame per chunk row (C
+        //    mutates between chunks, so its payloads are serialized on
+        //    demand into pooled buffers — each C block still moves exactly
+        //    once per run).
         for &(wid, ch) in &assignment {
-            for i in ch.rows() {
-                for j in ch.cols() {
-                    let payload = Bytes::from(c.block(i, j).to_bytes());
-                    master.send(wid, Frame::new(Tag::new(FrameKind::BlockC, i, j), payload), 1);
-                }
-            }
+            send_c_rows(&master, wid, &c, ch, &cpool);
         }
-        // 2. Stream the shared dimension.
+        // 2. Stream the shared dimension from the payload caches: per
+        //    step, one zero-copy B-row frame and one zero-copy A-column
+        //    frame per worker.
         for k in 0..t {
             for &(wid, ch) in &assignment {
-                for j in ch.cols() {
-                    let payload = Bytes::from(b.block(k, j).to_bytes());
-                    master.send(wid, Frame::new(Tag::new(FrameKind::BlockB, k, j), payload), 1);
-                }
-                for i in ch.rows() {
-                    let payload = Bytes::from(a.block(i, k).to_bytes());
-                    master.send(wid, Frame::new(Tag::new(FrameKind::BlockA, i, k), payload), 1);
-                }
+                master.send(
+                    wid,
+                    Frame::new(Tag::new(FrameKind::BlockB, k, ch.j0), bp.row_run(k, ch.j0, ch.width)),
+                    ch.width as u64,
+                );
+                master.send(
+                    wid,
+                    Frame::new(Tag::new(FrameKind::BlockA, ch.i0, k), ap.col_run(ch.i0, k, ch.height)),
+                    ch.height as u64,
+                );
             }
         }
-        // 3. Collect results.
+        // 3. Collect results, deserializing into the existing C blocks
+        //    (no per-result allocation).
         for &(wid, ch) in &assignment {
             master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-            for _ in 0..ch.blocks() {
-                let (frame, _) = master.recv(wid, 1).expect("worker died mid-chunk");
-                debug_assert_eq!(frame.tag.kind, FrameKind::CResult);
-                let (i, j) = (frame.tag.i as usize, frame.tag.j as usize);
-                c.set_block(i, j, Block::from_bytes(q, &frame.payload));
-            }
+            recv_c_rows(&master, wid, &mut c, ch, q);
         }
     }
 
@@ -247,6 +254,11 @@ pub fn run_heterogeneous(
         .collect();
 
     let start = Instant::now();
+    // Shared payload caches for the immutable inputs (see `run_inner`):
+    // B row-major for row runs, A col-major for column runs.
+    let ap = SharedPayloads::new_col_major(a);
+    let bp = SharedPayloads::new(b);
+    let cpool = mwp_msg::BufferPool::new();
     // The paper "assigns only full matrix column blocks": each worker owns
     // a group of µ_i consecutive block columns at a time and walks down it
     // in µ_i-row chunks. A single shared column cursor hands out disjoint
@@ -295,33 +307,27 @@ pub fn run_heterogeneous(
             let Some(ch) = cut_chunk(wi, mu[wi], &mut groups, &mut next_col) else {
                 continue; // grid exhausted: surplus selections are no-ops
             };
-            for i in ch.rows() {
-                for j in ch.cols() {
-                    let payload = Bytes::from(c.block(i, j).to_bytes());
-                    master.send(wid, Frame::new(Tag::new(FrameKind::BlockC, i, j), payload), 1);
-                }
-            }
+            send_c_rows(&master, wid, &c, &ch, &cpool);
             active[wi] = Some((ch, 0));
         }
         let (ch, k) = active[wi].expect("just assigned");
-        // One k-step: B row then A column for this chunk.
-        for j in ch.cols() {
-            let payload = Bytes::from(b.block(k, j).to_bytes());
-            master.send(wid, Frame::new(Tag::new(FrameKind::BlockB, k, j), payload), 1);
-        }
-        for i in ch.rows() {
-            let payload = Bytes::from(a.block(i, k).to_bytes());
-            master.send(wid, Frame::new(Tag::new(FrameKind::BlockA, i, k), payload), 1);
-        }
+        // One k-step: a zero-copy B-row frame then a zero-copy A-column
+        // frame for this chunk, from the caches.
+        master.send(
+            wid,
+            Frame::new(Tag::new(FrameKind::BlockB, k, ch.j0), bp.row_run(k, ch.j0, ch.width)),
+            ch.width as u64,
+        );
+        master.send(
+            wid,
+            Frame::new(Tag::new(FrameKind::BlockA, ch.i0, k), ap.col_run(ch.i0, k, ch.height)),
+            ch.height as u64,
+        );
         served.insert(wi);
         if k + 1 == t {
             // Chunk complete: fetch it back.
             master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-            for _ in 0..ch.blocks() {
-                let (frame, _) = master.recv(wid, 1).expect("worker died mid-chunk");
-                let (i, j) = (frame.tag.i as usize, frame.tag.j as usize);
-                c.set_block(i, j, Block::from_bytes(q, &frame.payload));
-            }
+            recv_c_rows(&master, wid, &mut c, &ch, q);
             active[wi] = None;
         } else {
             active[wi] = Some((ch, k + 1));
@@ -334,21 +340,19 @@ pub fn run_heterogeneous(
         let Some((ch, k0)) = active[wi] else { continue };
         let wid = mwp_platform::WorkerId(wi);
         for k in k0..t {
-            for j in ch.cols() {
-                let payload = Bytes::from(b.block(k, j).to_bytes());
-                master.send(wid, Frame::new(Tag::new(FrameKind::BlockB, k, j), payload), 1);
-            }
-            for i in ch.rows() {
-                let payload = Bytes::from(a.block(i, k).to_bytes());
-                master.send(wid, Frame::new(Tag::new(FrameKind::BlockA, i, k), payload), 1);
-            }
+            master.send(
+                wid,
+                Frame::new(Tag::new(FrameKind::BlockB, k, ch.j0), bp.row_run(k, ch.j0, ch.width)),
+                ch.width as u64,
+            );
+            master.send(
+                wid,
+                Frame::new(Tag::new(FrameKind::BlockA, ch.i0, k), ap.col_run(ch.i0, k, ch.height)),
+                ch.height as u64,
+            );
         }
         master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-        for _ in 0..ch.blocks() {
-            let (frame, _) = master.recv(wid, 1).expect("worker died mid-chunk");
-            let (i, j) = (frame.tag.i as usize, frame.tag.j as usize);
-            c.set_block(i, j, Block::from_bytes(q, &frame.payload));
-        }
+        recv_c_rows(&master, wid, &mut c, &ch, q);
         active[wi] = None;
     }
 
@@ -371,28 +375,21 @@ pub fn run_heterogeneous(
         };
         let wid = mwp_platform::WorkerId(wi);
         turn += 1;
-        for i in ch.rows() {
-            for j in ch.cols() {
-                let payload = Bytes::from(c.block(i, j).to_bytes());
-                master.send(wid, Frame::new(Tag::new(FrameKind::BlockC, i, j), payload), 1);
-            }
-        }
+        send_c_rows(&master, wid, &c, &ch, &cpool);
         for k in 0..t {
-            for j in ch.cols() {
-                let payload = Bytes::from(b.block(k, j).to_bytes());
-                master.send(wid, Frame::new(Tag::new(FrameKind::BlockB, k, j), payload), 1);
-            }
-            for i in ch.rows() {
-                let payload = Bytes::from(a.block(i, k).to_bytes());
-                master.send(wid, Frame::new(Tag::new(FrameKind::BlockA, i, k), payload), 1);
-            }
+            master.send(
+                wid,
+                Frame::new(Tag::new(FrameKind::BlockB, k, ch.j0), bp.row_run(k, ch.j0, ch.width)),
+                ch.width as u64,
+            );
+            master.send(
+                wid,
+                Frame::new(Tag::new(FrameKind::BlockA, ch.i0, k), ap.col_run(ch.i0, k, ch.height)),
+                ch.height as u64,
+            );
         }
         master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-        for _ in 0..ch.blocks() {
-            let (frame, _) = master.recv(wid, 1).expect("worker died mid-chunk");
-            let (i, j) = (frame.tag.i as usize, frame.tag.j as usize);
-            c.set_block(i, j, Block::from_bytes(q, &frame.payload));
-        }
+        recv_c_rows(&master, wid, &mut c, &ch, q);
         served.insert(wi);
     }
 
@@ -412,55 +409,144 @@ pub fn run_heterogeneous(
     })
 }
 
+/// Ship chunk `ch` of `c` to `wid`: one multi-block frame per chunk row,
+/// serialized into recycled pool buffers.
+fn send_c_rows(
+    master: &mwp_msg::MasterEndpoint,
+    wid: WorkerId,
+    c: &BlockMatrix,
+    ch: &Chunk,
+    pool: &mwp_msg::BufferPool,
+) {
+    let bb = c.q() * c.q() * 8;
+    for i in ch.rows() {
+        let payload = pool.bytes_with(bb * ch.width, |buf| {
+            for j in ch.cols() {
+                c.block(i, j).write_bytes_into(buf);
+            }
+        });
+        master.send(
+            wid,
+            Frame::new(Tag::new(FrameKind::BlockC, i, ch.j0), payload),
+            ch.width as u64,
+        );
+    }
+}
+
+/// Collect chunk `ch` back from `wid`: one frame per chunk row, copied
+/// straight into the existing C blocks (no per-result allocation).
+fn recv_c_rows(
+    master: &mwp_msg::MasterEndpoint,
+    wid: WorkerId,
+    c: &mut BlockMatrix,
+    ch: &Chunk,
+    q: usize,
+) {
+    let bb = q * q * 8;
+    for _ in ch.rows() {
+        let (frame, _) = master.recv(wid, ch.width as u64).expect("worker died mid-chunk");
+        debug_assert_eq!(frame.tag.kind, FrameKind::CResult);
+        let (i, j0) = (frame.tag.i as usize, frame.tag.j as usize);
+        let n = frame.payload.len() / bb;
+        debug_assert_eq!(n, ch.width);
+        for w in 0..n {
+            c.block_mut(i, j0 + w).copy_from_bytes(&frame.payload[w * bb..(w + 1) * bb]);
+        }
+    }
+}
+
 /// Algorithm 2: the worker program.
 ///
-/// Holds the resident C chunk, the current `B` row, and applies each
-/// incoming `A` block to every column of the chunk. `Control` requests the
-/// chunk back; `Shutdown` ends the thread. Asserts the memory invariant
-/// (`resident blocks ≤ m`) the paper's layout guarantees.
+/// Holds the resident C chunk (indexed by block row, so an incoming `A`
+/// block touches exactly its row instead of scanning the whole chunk), the
+/// current `B` row, and applies each incoming `A` block to every column of
+/// the chunk. `Control` requests the chunk back; `Shutdown` ends the
+/// thread. Asserts the memory invariant (`resident blocks ≤ m`) the
+/// paper's layout guarantees.
+///
+/// The receive path is allocation-free at steady state: incoming payloads
+/// are copied into recycled scratch blocks (`spare` holds blocks from
+/// returned chunks and retired `B` rows), the in-flight `A` block lives in
+/// one reused scratch, and result payloads are built in the endpoint's
+/// buffer pool.
 fn worker_main(ep: WorkerEndpoint, q: usize, memory_cap: usize) {
-    let mut c_chunk: HashMap<(usize, usize), Block> = HashMap::new();
+    // Resident C chunk, indexed by block row: c_rows[i] = [(j, block)].
+    let mut c_rows: HashMap<usize, Vec<(usize, Block)>> = HashMap::new();
+    let mut c_count = 0usize;
     let mut b_row: HashMap<usize, Block> = HashMap::new();
+    // Recycled block storage (scratch, not resident data).
+    let mut spare: Vec<Block> = Vec::new();
+    let mut a_scratch = Block::zeros(q);
     loop {
         let frame = match ep.recv() {
             Ok(f) => f,
             Err(_) => return, // master gone
         };
+        let bb = q * q * 8;
         match frame.tag.kind {
             FrameKind::BlockC => {
-                let key = (frame.tag.i as usize, frame.tag.j as usize);
-                c_chunk.insert(key, Block::from_bytes(q, &frame.payload));
+                // A run of chunk-row blocks: row i, columns j0, j0+1, …
+                let (i, j0) = (frame.tag.i as usize, frame.tag.j as usize);
+                for (w, part) in frame.payload.chunks_exact(bb).enumerate() {
+                    let mut blk = spare.pop().unwrap_or_else(|| Block::zeros(q));
+                    blk.copy_from_bytes(part);
+                    c_rows.entry(i).or_default().push((j0 + w, blk));
+                    c_count += 1;
+                }
             }
             FrameKind::BlockB => {
-                // A new B row block for column j; the step index k is
-                // implicit in FIFO order (it overwrites the previous k's).
-                b_row.insert(frame.tag.j as usize, Block::from_bytes(q, &frame.payload));
+                // A run of B row blocks for columns j0, j0+1, …; the step
+                // index k is implicit in FIFO order (each run overwrites
+                // the previous step's row).
+                let j0 = frame.tag.j as usize;
+                for (w, part) in frame.payload.chunks_exact(bb).enumerate() {
+                    match b_row.entry(j0 + w) {
+                        Entry::Occupied(mut e) => e.get_mut().copy_from_bytes(part),
+                        Entry::Vacant(v) => {
+                            let mut blk = spare.pop().unwrap_or_else(|| Block::zeros(q));
+                            blk.copy_from_bytes(part);
+                            v.insert(blk);
+                        }
+                    }
+                }
             }
             FrameKind::BlockA => {
-                let i = frame.tag.i as usize;
-                let a_block = Block::from_bytes(q, &frame.payload);
-                // Update row i of the resident chunk: C[i][j] += A · B[j].
-                for (&(ci, cj), c_block) in c_chunk.iter_mut() {
-                    if ci == i {
+                // A run of A column blocks for rows i0, i0+1, …; each one
+                // updates its row of the resident chunk through the single
+                // reused scratch block: C[i][j] += A · B[j].
+                let i0 = frame.tag.i as usize;
+                for (w, part) in frame.payload.chunks_exact(bb).enumerate() {
+                    let Some(row) = c_rows.get_mut(&(i0 + w)) else { continue };
+                    a_scratch.copy_from_bytes(part);
+                    for (cj, c_block) in row.iter_mut() {
                         let b_block = b_row
-                            .get(&cj)
+                            .get(cj)
                             .expect("B row must arrive before the A column (FIFO)");
-                        c_block.gemm_acc(&a_block, b_block);
+                        c_block.gemm_acc(&a_scratch, b_block);
                     }
                 }
             }
             FrameKind::Control => {
-                // Return the chunk in deterministic order.
-                let mut keys: Vec<_> = c_chunk.keys().copied().collect();
-                keys.sort_unstable();
-                for (i, j) in keys {
-                    let block = c_chunk.remove(&(i, j)).expect("key just listed");
-                    ep.send(Frame::new(
-                        Tag::new(FrameKind::CResult, i, j),
-                        Bytes::from(block.to_bytes()),
-                    ));
+                // Return the chunk in deterministic (i, j) order — one run
+                // frame per chunk row, built in the endpoint's buffer pool
+                // — then recycle every resident block for the next chunk.
+                let mut rows: Vec<usize> = c_rows.keys().copied().collect();
+                rows.sort_unstable();
+                for i in rows {
+                    let mut row = c_rows.remove(&i).expect("row just listed");
+                    row.sort_unstable_by_key(|(j, _)| *j);
+                    let j0 = row.first().expect("rows are never empty").0;
+                    let payload = ep.pooled_payload(row.len() * bb, |buf| {
+                        for (w, (j, block)) in row.iter().enumerate() {
+                            debug_assert_eq!(*j, j0 + w, "chunk rows are contiguous");
+                            block.write_bytes_into(buf);
+                        }
+                    });
+                    ep.send(Frame::new(Tag::new(FrameKind::CResult, i, j0), payload));
+                    c_count -= row.len();
+                    spare.extend(row.into_iter().map(|(_, blk)| blk));
                 }
-                b_row.clear();
+                spare.extend(b_row.drain().map(|(_, blk)| blk));
             }
             FrameKind::Shutdown => return,
             FrameKind::CResult | FrameKind::LuPanel => {
@@ -468,11 +554,12 @@ fn worker_main(ep: WorkerEndpoint, q: usize, memory_cap: usize) {
             }
         }
         // The paper's memory invariant: resident blocks never exceed m.
-        // (+1 for the A block in flight.)
+        // (+1 for the A block in flight; `spare` holds recycled storage,
+        // not resident matrix data.)
         assert!(
-            c_chunk.len() + b_row.len() < memory_cap,
+            c_count + b_row.len() < memory_cap,
             "worker exceeded its memory: {} + {} + 1 > {memory_cap}",
-            c_chunk.len(),
+            c_count,
             b_row.len(),
         );
     }

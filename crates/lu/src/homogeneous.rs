@@ -13,7 +13,7 @@
 
 use crate::cost::LuProblem;
 use mwp_platform::{Platform, WorkerId};
-use mwp_sim::{Decision, MasterPolicy, SimReport, SimTime, Simulator, WorkerView};
+use mwp_sim::{label_if, Decision, MasterPolicy, SimReport, SimTime, Simulator, WorkerView};
 use std::collections::VecDeque;
 
 /// The paper's worker count for the LU core update, `ceil(µw/3c)`.
@@ -41,6 +41,8 @@ struct LuPolicy {
     /// Worker that must finish before the next step's pivot (barrier).
     barrier: Vec<WorkerId>,
     awaiting_barrier: bool,
+    /// Whether per-event labels should be formatted (trace on).
+    labels: bool,
 }
 
 impl LuPolicy {
@@ -52,6 +54,7 @@ impl LuPolicy {
             pending: VecDeque::new(),
             barrier: Vec::new(),
             awaiting_barrier: false,
+            labels: true,
         }
     }
 
@@ -68,13 +71,13 @@ impl LuPolicy {
             blocks: sc.pivot.comm as u64 / 2,
             spawn_updates: sc.pivot.comp.ceil() as u64,
             mem_delta: 0,
-            label: format!("pivot k={k}"),
+            label: label_if(self.labels, || format!("pivot k={k}")),
         });
         self.pending.push_back(Decision::Recv {
             from: WorkerId(0),
             blocks: sc.pivot.comm as u64 / 2,
             mem_delta: 0,
-            label: format!("pivot back k={k}"),
+            label: label_if(self.labels, || format!("pivot back k={k}")),
         });
         if rem > 0 {
             // Panels: rows out and back (cost split half each way), with
@@ -86,13 +89,13 @@ impl LuPolicy {
                 blocks: panel_out,
                 spawn_updates: panel_comp,
                 mem_delta: 0,
-                label: format!("panels k={k}"),
+                label: label_if(self.labels, || format!("panels k={k}")),
             });
             self.pending.push_back(Decision::Recv {
                 from: WorkerId(0),
                 blocks: panel_out,
                 mem_delta: 0,
-                label: format!("panels back k={k}"),
+                label: label_if(self.labels, || format!("panels back k={k}")),
             });
         }
         // Core: r/µ − k column groups, round-robin over enrolled workers.
@@ -117,7 +120,7 @@ impl LuPolicy {
                 blocks: outbound,
                 spawn_updates: group_comp,
                 mem_delta: 0,
-                label: format!("core k={k} g={g}"),
+                label: label_if(self.labels, || format!("core k={k} g={g}")),
             });
             self.barrier.push(to);
         }
@@ -129,13 +132,17 @@ impl LuPolicy {
                 from,
                 blocks: inbound,
                 mem_delta: 0,
-                label: format!("core back k={k} g={g}"),
+                label: label_if(self.labels, || format!("core back k={k} g={g}")),
             });
         }
     }
 }
 
 impl MasterPolicy for LuPolicy {
+    fn trace_labels(&mut self, enabled: bool) {
+        self.labels = enabled;
+    }
+
     fn next(&mut self, now: SimTime, workers: &[WorkerView]) -> Decision {
         loop {
             if let Some(d) = self.pending.pop_front() {

@@ -7,16 +7,18 @@
 //! arithmetic, verified against the serial blocked factorization.
 //!
 //! The message layer moves self-describing dense sub-matrices (a tiny
-//! `rows × cols` header before the coefficients). To keep workers
-//! stateless, each core-group task carries the vertical panel it needs —
-//! more traffic than the paper's accounting (which keeps panels resident),
-//! but numerically identical and much easier to reason about; the
-//! simulation in [`crate::homogeneous`] models the paper's exact volumes.
+//! `rows × cols` header before the coefficients). The step's vertical
+//! panel — common to every core update — is encoded once and fanned out
+//! to the enrolled workers as refcounted views of one buffer
+//! (`OP_SET_VERT`); each worker keeps it resident for the step, matching
+//! the paper's accounting, and core-group tasks then carry only their own
+//! column group. All payloads are built in recycled buffer pools, so the
+//! steady-state message path allocates nothing. The simulation in
+//! [`crate::homogeneous`] models the paper's exact volumes.
 
-use bytes::Bytes;
 use mwp_blockmat::lu::{lu_factor_in_place, trsm_left_unit_lower, trsm_right_upper, Dense};
 use mwp_blockmat::BlockMatrix;
-use mwp_msg::{Frame, FrameKind, StarNetwork, Tag, WorkerEndpoint};
+use mwp_msg::{BufferPool, Frame, FrameKind, StarNetwork, Tag, WorkerEndpoint};
 use mwp_platform::{Platform, WorkerId};
 use std::thread;
 use std::time::Instant;
@@ -26,6 +28,11 @@ const OP_FACTOR: usize = 0;
 const OP_TRSM_RIGHT: usize = 1;
 const OP_TRSM_LEFT: usize = 2;
 const OP_CORE: usize = 3;
+/// Install the step's vertical panel in the worker's resident state. The
+/// panel is encoded **once** per step and fanned out to every enrolled
+/// worker as refcounted views of the same buffer, instead of being
+/// re-encoded into every core-update message.
+const OP_SET_VERT: usize = 4;
 
 /// Outcome of a threaded LU run.
 #[derive(Debug)]
@@ -64,13 +71,15 @@ pub fn run_lu(
     let start = Instant::now();
     let mut a = Dense::from_blocks(matrix);
     let mut messages: u64 = 0;
+    // Recycled encode buffers for every master-side task payload.
+    let pool = BufferPool::new();
 
     let mut k0 = 0;
     while k0 < n {
         let k1 = (k0 + nb).min(n);
         // --- 1. Pivot factorization on worker 0. ------------------------
         let pivot_in = a.submatrix(k0, k1, k0, k1);
-        send_task(&master, WorkerId(0), OP_FACTOR, &[&pivot_in]);
+        send_task(&master, &pool, WorkerId(0), OP_FACTOR, &[&pivot_in]);
         let pivot = recv_dense(&master, WorkerId(0));
         messages += 2;
         a.set_submatrix(k0, k0, &pivot);
@@ -78,14 +87,14 @@ pub fn run_lu(
         if k1 < n {
             // --- 2. Vertical panel (x ← x·U⁻¹) on worker 0. -------------
             let vert_in = a.submatrix(k1, n, k0, k1);
-            send_task(&master, WorkerId(0), OP_TRSM_RIGHT, &[&pivot, &vert_in]);
+            send_task(&master, &pool, WorkerId(0), OP_TRSM_RIGHT, &[&pivot, &vert_in]);
             let vert = recv_dense(&master, WorkerId(0));
             messages += 2;
             a.set_submatrix(k1, k0, &vert);
 
             // --- 3. Horizontal panel (y ← L⁻¹·y) on worker 0. -----------
             let horiz_in = a.submatrix(k0, k1, k1, n);
-            send_task(&master, WorkerId(0), OP_TRSM_LEFT, &[&pivot, &horiz_in]);
+            send_task(&master, &pool, WorkerId(0), OP_TRSM_LEFT, &[&pivot, &horiz_in]);
             let horiz = recv_dense(&master, WorkerId(0));
             messages += 2;
             a.set_submatrix(k0, k1, &horiz);
@@ -98,12 +107,26 @@ pub fn run_lu(
                 groups.push((c0, c1));
                 c0 = c1;
             }
+            // The vertical panel is common to every core update of this
+            // step: encode it once and fan the same buffer out to each
+            // worker that will compute at least one group (a refcount
+            // bump per send, zero copies).
+            let vert_payload =
+                pool.bytes_with(parts_len(&[&vert]), |buf| encode_parts_into(&[&vert], buf));
+            for w in 0..enrolled.min(groups.len()) {
+                master.send(
+                    WorkerId(w),
+                    Frame::new(Tag::new(FrameKind::LuPanel, OP_SET_VERT, 0), vert_payload.clone()),
+                    1,
+                );
+                messages += 1;
+            }
             // Ship every group first (parallel compute), then collect.
             for (g, &(c0, c1)) in groups.iter().enumerate() {
                 let to = WorkerId(g % enrolled);
                 let horiz_g = horiz.submatrix(0, k1 - k0, c0 - k1, c1 - k1);
                 let core_g = a.submatrix(k1, n, c0, c1);
-                send_task(&master, to, OP_CORE, &[&vert, &horiz_g, &core_g]);
+                send_task(&master, &pool, to, OP_CORE, &[&horiz_g, &core_g]);
                 messages += 1;
             }
             for (g, &(c0, c1)) in groups.iter().enumerate() {
@@ -133,7 +156,14 @@ pub fn run_lu(
 }
 
 /// Worker loop: decode the op, run the kernel, return the result matrix.
+///
+/// The worker keeps the step's vertical panel resident (installed by
+/// `OP_SET_VERT`), so core-update messages carry only their own column
+/// group. Result payloads are built in the endpoint's recycled buffer
+/// pool — the worker allocates nothing per message at steady state beyond
+/// the decoded task matrices themselves.
 fn lu_worker_main(ep: WorkerEndpoint) {
+    let mut vert: Option<Dense> = None;
     loop {
         let frame = match ep.recv() {
             Ok(f) => f,
@@ -164,25 +194,39 @@ fn lu_worker_main(ep: WorkerEndpoint) {
                 trsm_left_unit_lower(&mut panel, &pivot);
                 panel
             }
+            OP_SET_VERT => {
+                vert = Some(parts.into_iter().next().expect("vertical panel"));
+                continue; // stateful install: nothing to send back
+            }
             OP_CORE => {
                 let mut it = parts.into_iter();
-                let vert = it.next().expect("vertical panel");
                 let horiz_g = it.next().expect("horizontal group");
                 let mut core_g = it.next().expect("core group");
-                core_g.sub_mul(&vert, &horiz_g);
+                let vert = vert
+                    .as_ref()
+                    .expect("OP_SET_VERT must precede OP_CORE (FIFO order)");
+                core_g.sub_mul(vert, &horiz_g);
                 core_g
             }
             op => unreachable!("unknown LU op {op}"),
         };
+        let payload =
+            ep.pooled_payload(parts_len(&[&result]), |buf| encode_parts_into(&[&result], buf));
         ep.send(Frame::new(
             Tag::new(FrameKind::LuPanel, frame.tag.i as usize, frame.tag.j as usize),
-            Bytes::from(encode_parts(&[&result])),
+            payload,
         ));
     }
 }
 
-fn send_task(master: &mwp_msg::MasterEndpoint, to: WorkerId, op: usize, parts: &[&Dense]) {
-    let payload = Bytes::from(encode_parts(parts));
+fn send_task(
+    master: &mwp_msg::MasterEndpoint,
+    pool: &BufferPool,
+    to: WorkerId,
+    op: usize,
+    parts: &[&Dense],
+) {
+    let payload = pool.bytes_with(parts_len(parts), |buf| encode_parts_into(parts, buf));
     // Block accounting: total coefficients / q² is what the cost model
     // would count; the runtime meters whole messages instead.
     master.send(to, Frame::new(Tag::new(FrameKind::LuPanel, op, 0), payload), 1);
@@ -196,27 +240,45 @@ fn recv_dense(master: &mwp_msg::MasterEndpoint, from: WorkerId) -> Dense {
         .expect("result payload")
 }
 
-/// Encode a sequence of dense matrices: per part, `rows u32 | cols u32 |
-/// rows·cols f64 LE`.
-fn encode_parts(parts: &[&Dense]) -> Vec<u8> {
-    let total: usize = parts
-        .iter()
-        .map(|d| 8 + d.rows() * d.cols() * 8)
-        .sum();
-    let mut out = Vec::with_capacity(total);
+/// Total encoded size of a parts sequence.
+fn parts_len(parts: &[&Dense]) -> usize {
+    parts.iter().map(|d| 8 + d.rows() * d.cols() * 8).sum()
+}
+
+/// Encode a sequence of dense matrices into `out`: per part, `rows u32 |
+/// cols u32 | rows·cols f64 LE`. On little-endian targets the coefficient
+/// image is one bulk copy.
+fn encode_parts_into(parts: &[&Dense], out: &mut Vec<u8>) {
+    out.reserve(parts_len(parts));
     for d in parts {
         out.extend_from_slice(&(d.rows() as u32).to_le_bytes());
         out.extend_from_slice(&(d.cols() as u32).to_le_bytes());
-        for i in 0..d.rows() {
-            for j in 0..d.cols() {
-                out.extend_from_slice(&d[(i, j)].to_le_bytes());
-            }
+        let coeffs = d.as_slice();
+        #[cfg(target_endian = "little")]
+        {
+            // f64 has no padding and any byte pattern is a valid read.
+            let raw = unsafe {
+                std::slice::from_raw_parts(coeffs.as_ptr().cast::<u8>(), coeffs.len() * 8)
+            };
+            out.extend_from_slice(raw);
+        }
+        #[cfg(not(target_endian = "little"))]
+        for v in coeffs {
+            out.extend_from_slice(&v.to_le_bytes());
         }
     }
+}
+
+/// Encode into a fresh buffer (tests; the runtime encodes into pooled
+/// buffers via [`encode_parts_into`]).
+#[cfg(test)]
+fn encode_parts(parts: &[&Dense]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(parts_len(parts));
+    encode_parts_into(parts, &mut out);
     out
 }
 
-/// Decode the wire format of [`encode_parts`].
+/// Decode the wire format of [`encode_parts_into`].
 fn decode_parts(buf: &[u8]) -> Vec<Dense> {
     let mut parts = Vec::new();
     let mut off = 0;
@@ -224,15 +286,23 @@ fn decode_parts(buf: &[u8]) -> Vec<Dense> {
         let rows = u32::from_le_bytes(buf[off..off + 4].try_into().expect("header")) as usize;
         let cols = u32::from_le_bytes(buf[off + 4..off + 8].try_into().expect("header")) as usize;
         off += 8;
+        let n = rows * cols;
         let mut d = Dense::zeros(rows, cols);
-        for i in 0..rows {
-            for j in 0..cols {
-                d[(i, j)] = f64::from_le_bytes(
-                    buf[off..off + 8].try_into().expect("coefficient"),
-                );
-                off += 8;
-            }
+        let bytes = &buf[off..off + n * 8];
+        #[cfg(target_endian = "little")]
+        unsafe {
+            // Byte copy into the f64-aligned destination.
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                d.as_mut_slice().as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
         }
+        #[cfg(not(target_endian = "little"))]
+        for (dst, c) in d.as_mut_slice().iter_mut().zip(bytes.chunks_exact(8)) {
+            *dst = f64::from_le_bytes(c.try_into().expect("coefficient"));
+        }
+        off += n * 8;
         parts.push(d);
     }
     parts

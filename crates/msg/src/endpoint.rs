@@ -2,8 +2,10 @@
 
 use crate::frame::Frame;
 use crate::link::{MasterSide, WorkerSide};
+use crate::pool::BufferPool;
 use crate::port::OnePort;
 use crate::stats::LinkSnapshot;
+use bytes::Bytes;
 use crossbeam::channel::RecvError;
 use mwp_platform::WorkerId;
 
@@ -113,11 +115,12 @@ impl MasterEndpoint {
 pub struct WorkerEndpoint {
     id: WorkerId,
     link: WorkerSide,
+    pool: BufferPool,
 }
 
 impl WorkerEndpoint {
     pub(crate) fn new(id: WorkerId, link: WorkerSide) -> Self {
-        WorkerEndpoint { id, link }
+        WorkerEndpoint { id, link, pool: BufferPool::new() }
     }
 
     /// This worker's id.
@@ -134,6 +137,15 @@ impl WorkerEndpoint {
     /// the master pays the transfer cost when it pulls the frame.
     pub fn send(&self, frame: Frame) {
         self.link.send(frame);
+    }
+
+    /// Build a result payload in this endpoint's recycled buffer pool.
+    ///
+    /// The buffer returns to the pool once the master drops the last view
+    /// of the payload, so a worker returning results in a loop allocates
+    /// only until the pool warms up, then never again.
+    pub fn pooled_payload(&self, capacity_hint: usize, fill: impl FnOnce(&mut Vec<u8>)) -> Bytes {
+        self.pool.bytes_with(capacity_hint, fill)
     }
 }
 

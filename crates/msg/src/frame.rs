@@ -9,15 +9,26 @@ use bytes::Bytes;
 
 /// What a frame carries. The scheduling layer gives these their precise
 /// meaning; the message layer only routes and meters them.
+///
+/// Matrix-block frames may carry a **run** of `n ≥ 1` adjacent blocks in
+/// one payload (`n · 8q²` bytes); the tag addresses the first block and
+/// the receiver derives `n` from the payload length. The runtimes use
+/// this to ship a whole `B` row stretch or `A` column stretch as a single
+/// zero-copy frame (metered as `n` blocks — the one-port cost model is
+/// unchanged).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FrameKind {
-    /// A block of the input matrix `A` (tag = `(i, k)`).
+    /// Block(s) of the input matrix `A` (tag = `(i, k)`; a run spans rows
+    /// `i, i+1, …` of column `k`).
     BlockA,
-    /// A block of the input matrix `B` (tag = `(k, j)`).
+    /// Block(s) of the input matrix `B` (tag = `(k, j)`; a run spans
+    /// columns `j, j+1, …` of row `k`).
     BlockB,
-    /// A block of `C` sent master → worker (tag = `(i, j)`).
+    /// Block(s) of `C` sent master → worker (tag = `(i, j)`; a run spans
+    /// columns `j, j+1, …` of row `i`).
     BlockC,
-    /// A fully-updated block of `C` returned worker → master.
+    /// Fully-updated block(s) of `C` returned worker → master (same run
+    /// convention as [`FrameKind::BlockC`]).
     CResult,
     /// An LU panel fragment (Section 7 runtime).
     LuPanel,
@@ -59,6 +70,23 @@ impl FrameKind {
     /// per-link statistics (control traffic is free in the paper's model).
     pub fn is_block(self) -> bool {
         !matches!(self, FrameKind::Control | FrameKind::Shutdown)
+    }
+
+    /// The payload quantum a frame of this kind must respect for block
+    /// side `q`, or `None` when the length is scheduler-defined.
+    ///
+    /// Matrix-block frames carry one or more `q × q` blocks of
+    /// little-endian `f64`s, so their payload must be a nonzero multiple
+    /// of `8q²` bytes; a shutdown frame is empty (quantum 0). `Control`
+    /// and `LuPanel` payloads are variable.
+    pub fn expected_payload_len(self, q: usize) -> Option<usize> {
+        match self {
+            FrameKind::BlockA | FrameKind::BlockB | FrameKind::BlockC | FrameKind::CResult => {
+                Some(q * q * 8)
+            }
+            FrameKind::Shutdown => Some(0),
+            FrameKind::Control | FrameKind::LuPanel => None,
+        }
     }
 }
 
@@ -122,17 +150,60 @@ impl Frame {
     }
 
     /// Decode a buffer produced by [`Frame::encode`].
+    ///
+    /// Copies the payload out of the borrowed buffer; prefer
+    /// [`Frame::decode_bytes`] when the buffer is already a [`Bytes`].
     pub fn decode(buf: &[u8]) -> Option<Frame> {
+        let (tag, _) = Self::decode_header(buf)?;
+        Some(Frame { tag, payload: Bytes::copy_from_slice(&buf[9..]) })
+    }
+
+    /// Decode a shared buffer **zero-copy**: the returned frame's payload
+    /// is a refcounted slice of `buf`, not a copy.
+    pub fn decode_bytes(buf: Bytes) -> Option<Frame> {
+        let (tag, _) = Self::decode_header(&buf)?;
+        Some(Frame { tag, payload: buf.slice(9..) })
+    }
+
+    /// Decode and validate: when the frame kind fixes its payload quantum
+    /// (any matrix-block kind, shutdown), a mismatched payload — truncated
+    /// coefficients or trailing garbage after a valid header — is rejected
+    /// instead of being passed through to a worker. Block frames must
+    /// carry a nonzero whole number of `8q²`-byte blocks. The length is
+    /// validated **before** the payload is copied out of `buf`, so a
+    /// malformed buffer costs no allocation.
+    pub fn decode_checked(buf: &[u8], q: usize) -> Option<Frame> {
+        let (tag, payload_len) = Self::decode_header(buf)?;
+        match tag.kind.expected_payload_len(q) {
+            Some(0) => {
+                if payload_len != 0 {
+                    return None;
+                }
+            }
+            Some(quantum) => {
+                if payload_len == 0 || payload_len % quantum != 0 {
+                    return None;
+                }
+            }
+            None => {}
+        }
+        Some(Frame { tag, payload: Bytes::copy_from_slice(&buf[9..]) })
+    }
+
+    /// The payload quantum this frame must respect for block side `q`
+    /// (see [`FrameKind::expected_payload_len`]).
+    pub fn expected_payload_len(&self, q: usize) -> Option<usize> {
+        self.tag.kind.expected_payload_len(q)
+    }
+
+    fn decode_header(buf: &[u8]) -> Option<(Tag, usize)> {
         if buf.len() < 9 {
             return None;
         }
         let kind = FrameKind::from_wire_id(buf[0])?;
         let i = u32::from_le_bytes(buf[1..5].try_into().ok()?);
         let j = u32::from_le_bytes(buf[5..9].try_into().ok()?);
-        Some(Frame {
-            tag: Tag { kind, i, j },
-            payload: Bytes::copy_from_slice(&buf[9..]),
-        })
+        Some((Tag { kind, i, j }, buf.len() - 9))
     }
 }
 
@@ -192,5 +263,60 @@ mod tests {
         let b = Frame::new(Tag::new(FrameKind::BlockB, 0, 1), payload.clone());
         // Same backing storage.
         assert_eq!(a.payload.as_ptr(), b.payload.as_ptr());
+    }
+
+    #[test]
+    fn decode_bytes_is_zero_copy() {
+        let f = Frame::new(Tag::new(FrameKind::BlockA, 2, 5), Bytes::from(vec![9u8; 128]));
+        let wire = Bytes::from(f.encode());
+        let back = Frame::decode_bytes(wire.clone()).unwrap();
+        assert_eq!(back, f);
+        // The payload is a slice of the wire buffer, not a copy.
+        assert_eq!(back.payload.as_ptr(), unsafe { wire.as_ptr().add(9) });
+    }
+
+    #[test]
+    fn expected_payload_len_by_kind() {
+        let q = 4;
+        for kind in [FrameKind::BlockA, FrameKind::BlockB, FrameKind::BlockC, FrameKind::CResult] {
+            assert_eq!(kind.expected_payload_len(q), Some(128));
+        }
+        assert_eq!(FrameKind::Shutdown.expected_payload_len(q), Some(0));
+        assert_eq!(FrameKind::Control.expected_payload_len(q), None);
+        assert_eq!(FrameKind::LuPanel.expected_payload_len(q), None);
+    }
+
+    #[test]
+    fn decode_checked_rejects_bad_block_lengths() {
+        let q = 2; // the block quantum is 32 payload bytes
+        let good = Frame::new(Tag::new(FrameKind::BlockB, 0, 0), Bytes::from(vec![1u8; 32]));
+        assert!(Frame::decode_checked(&good.encode(), q).is_some());
+
+        // A run of three blocks is also valid.
+        let run = Frame::new(Tag::new(FrameKind::BlockB, 0, 0), Bytes::from(vec![1u8; 96]));
+        assert!(Frame::decode_checked(&run.encode(), q).is_some());
+
+        // Trailing garbage after a valid header + block payload.
+        let mut wire = good.encode();
+        wire.extend_from_slice(b"garbage");
+        assert!(Frame::decode(&wire).is_some(), "plain decode cannot know q");
+        assert!(Frame::decode_checked(&wire, q).is_none(), "checked decode must reject");
+
+        // Truncated coefficients.
+        let short = Frame::new(Tag::new(FrameKind::BlockA, 0, 0), Bytes::from(vec![1u8; 31]));
+        assert!(Frame::decode_checked(&short.encode(), q).is_none());
+
+        // An empty block frame carries no block at all.
+        let empty = Frame::new(Tag::new(FrameKind::BlockC, 0, 0), Bytes::new());
+        assert!(Frame::decode_checked(&empty.encode(), q).is_none());
+
+        // Shutdown must be empty.
+        let mut bad_shutdown = Frame::shutdown().encode();
+        bad_shutdown.push(0);
+        assert!(Frame::decode_checked(&bad_shutdown, q).is_none());
+
+        // Control payloads are scheduler-defined: any length passes.
+        let ctl = Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::from(vec![0u8; 7]));
+        assert!(Frame::decode_checked(&ctl.encode(), q).is_some());
     }
 }

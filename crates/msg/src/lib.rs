@@ -17,7 +17,10 @@
 //! * [`StarNetwork`] — builds the full star from a
 //!   [`mwp_platform::Platform`] and hands out master/worker endpoints,
 //! * [`LinkStats`] — lock-free per-link counters (blocks, bytes, busy
-//!   time) that the experiment harness reads after a run.
+//!   time) that the experiment harness reads after a run,
+//! * [`BufferPool`] — recycling payload buffers: result frames are built
+//!   in pooled storage that returns to the sender once the receiver drops
+//!   the last view, making steady-state traffic allocation-free.
 //!
 //! Worker-side receives do **not** take the port — only the master is
 //! port-limited, exactly as in the model (each worker has its own link).
@@ -26,6 +29,7 @@ pub mod endpoint;
 pub mod frame;
 pub mod link;
 pub mod net;
+pub mod pool;
 pub mod port;
 pub mod stats;
 
@@ -33,5 +37,6 @@ pub use endpoint::{MasterEndpoint, WorkerEndpoint};
 pub use frame::{Frame, FrameKind, Tag};
 pub use link::Link;
 pub use net::StarNetwork;
+pub use pool::BufferPool;
 pub use port::OnePort;
 pub use stats::LinkStats;

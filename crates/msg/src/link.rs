@@ -18,6 +18,17 @@ pub struct Pacing {
     pub time_scale: f64,
 }
 
+/// Matrix blocks a frame contributes to the per-link statistics: the
+/// metered count for block frames (a run frame carries several), zero for
+/// control traffic even when the caller paces it.
+fn metered_blocks(frame: &Frame, blocks: u64) -> u64 {
+    if frame.tag.kind.is_block() {
+        blocks
+    } else {
+        0
+    }
+}
+
 impl Pacing {
     /// No pacing: transfers complete as fast as channels allow.
     pub const OFF: Pacing = Pacing { time_scale: 0.0 };
@@ -75,7 +86,7 @@ impl Link {
         let cost = blocks as f64 * self.c;
         self.pacing.pace(cost);
         self.stats
-            .record_to_worker(frame.wire_len(), frame.tag.kind.is_block());
+            .record_to_worker(frame.wire_len(), metered_blocks(&frame, blocks));
         self.to_worker_tx.send(frame).expect("worker endpoint dropped");
         self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
         cost
@@ -89,7 +100,7 @@ impl Link {
         let cost = blocks as f64 * self.c;
         self.pacing.pace(cost);
         self.stats
-            .record_to_master(frame.wire_len(), frame.tag.kind.is_block());
+            .record_to_master(frame.wire_len(), metered_blocks(&frame, blocks));
         self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
         Ok((frame, cost))
     }
@@ -144,7 +155,7 @@ impl MasterSide {
         let cost = blocks as f64 * self.c;
         self.pacing.pace(cost);
         self.stats
-            .record_to_worker(frame.wire_len(), frame.tag.kind.is_block());
+            .record_to_worker(frame.wire_len(), metered_blocks(&frame, blocks));
         self.tx.send(frame).expect("worker endpoint dropped");
         self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
         cost
@@ -158,7 +169,7 @@ impl MasterSide {
         let cost = blocks as f64 * self.c;
         self.pacing.pace(cost);
         self.stats
-            .record_to_master(frame.wire_len(), frame.tag.kind.is_block());
+            .record_to_master(frame.wire_len(), metered_blocks(&frame, blocks));
         self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
         Some((frame, cost))
     }
@@ -170,7 +181,7 @@ impl MasterSide {
         let cost = blocks as f64 * self.c;
         self.pacing.pace(cost);
         self.stats
-            .record_to_master(frame.wire_len(), frame.tag.kind.is_block());
+            .record_to_master(frame.wire_len(), metered_blocks(&frame, blocks));
         self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
         Ok((frame, cost))
     }

@@ -54,21 +54,22 @@ impl LinkStats {
         Self::default()
     }
 
-    /// Record a master → worker frame.
-    pub fn record_to_worker(&self, bytes: usize, is_block: bool) {
+    /// Record a master → worker frame carrying `blocks` matrix blocks
+    /// (0 for control traffic; multi-block run frames count every block).
+    pub fn record_to_worker(&self, bytes: usize, blocks: u64) {
         self.inner.frames_to_worker.fetch_add(1, Ordering::Relaxed);
         self.inner.bytes_to_worker.fetch_add(bytes as u64, Ordering::Relaxed);
-        if is_block {
-            self.inner.blocks_to_worker.fetch_add(1, Ordering::Relaxed);
+        if blocks > 0 {
+            self.inner.blocks_to_worker.fetch_add(blocks, Ordering::Relaxed);
         }
     }
 
-    /// Record a worker → master frame.
-    pub fn record_to_master(&self, bytes: usize, is_block: bool) {
+    /// Record a worker → master frame carrying `blocks` matrix blocks.
+    pub fn record_to_master(&self, bytes: usize, blocks: u64) {
         self.inner.frames_to_master.fetch_add(1, Ordering::Relaxed);
         self.inner.bytes_to_master.fetch_add(bytes as u64, Ordering::Relaxed);
-        if is_block {
-            self.inner.blocks_to_master.fetch_add(1, Ordering::Relaxed);
+        if blocks > 0 {
+            self.inner.blocks_to_master.fetch_add(blocks, Ordering::Relaxed);
         }
     }
 
@@ -99,9 +100,9 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let s = LinkStats::new();
-        s.record_to_worker(100, true);
-        s.record_to_worker(9, false); // control frame: not a block
-        s.record_to_master(50, true);
+        s.record_to_worker(100, 1);
+        s.record_to_worker(9, 0); // control frame: not a block
+        s.record_to_master(50, 1);
         s.record_port_busy(42);
         let snap = s.snapshot();
         assert_eq!(snap.frames_to_worker, 2);
@@ -114,10 +115,23 @@ mod tests {
     }
 
     #[test]
+    fn multi_block_frames_count_every_block() {
+        let s = LinkStats::new();
+        s.record_to_worker(6 * 128, 6); // one frame, six-block run
+        s.record_to_master(2 * 128, 2);
+        let snap = s.snapshot();
+        assert_eq!(snap.frames_to_worker, 1);
+        assert_eq!(snap.blocks_to_worker, 6);
+        assert_eq!(snap.frames_to_master, 1);
+        assert_eq!(snap.blocks_to_master, 2);
+        assert_eq!(snap.total_blocks(), 8);
+    }
+
+    #[test]
     fn clone_shares_counters() {
         let s = LinkStats::new();
         let t = s.clone();
-        t.record_to_worker(1, true);
+        t.record_to_worker(1, 1);
         assert_eq!(s.snapshot().frames_to_worker, 1);
     }
 
@@ -129,7 +143,7 @@ mod tests {
             let s = s.clone();
             handles.push(thread::spawn(move || {
                 for _ in 0..1000 {
-                    s.record_to_worker(8, true);
+                    s.record_to_worker(8, 1);
                 }
             }));
         }

@@ -10,6 +10,21 @@ use crate::report::SimReport;
 use crate::time::SimTime;
 use crate::trace::{Activity, ActivityKind, Resource, Trace};
 use mwp_platform::{Platform, Seconds, WorkerId};
+use std::borrow::Cow;
+
+/// A trace label: static for the common fixed strings, owned only when a
+/// policy formats per-event detail (and then only while tracing is on).
+pub type Label = Cow<'static, str>;
+
+/// Build an owned label only when `on`; policies use this to stay
+/// allocation-free in untraced (million-message) simulations.
+pub fn label_if(on: bool, f: impl FnOnce() -> String) -> Label {
+    if on {
+        Cow::Owned(f())
+    } else {
+        Cow::Borrowed("")
+    }
+}
 
 /// Read-only view of one worker's state offered to the policy.
 #[derive(Debug, Clone, Copy)]
@@ -54,7 +69,7 @@ pub enum Decision {
         /// Net memory change in blocks at completion.
         mem_delta: i64,
         /// Label recorded in the trace.
-        label: String,
+        label: Label,
     },
     /// Occupy the port receiving `blocks` result blocks from `from`.
     ///
@@ -69,7 +84,7 @@ pub enum Decision {
         /// Net memory change in blocks at completion (usually `-blocks`).
         mem_delta: i64,
         /// Label recorded in the trace.
-        label: String,
+        label: Label,
     },
     /// Keep the port idle until the given time (e.g. a demand-driven policy
     /// waiting for some worker to become free). Must be strictly later than
@@ -128,6 +143,12 @@ impl std::error::Error for SimError {}
 pub trait MasterPolicy {
     /// Decide the next port operation.
     fn next(&mut self, now: SimTime, workers: &[WorkerView]) -> Decision;
+
+    /// Told once per run, before the first `next`, whether the engine
+    /// records a trace. Policies that format per-event labels should skip
+    /// the formatting when `false` (see [`label_if`]); the default impl
+    /// ignores the hint.
+    fn trace_labels(&mut self, _enabled: bool) {}
 }
 
 struct WorkerState {
@@ -171,6 +192,7 @@ impl Simulator {
 
     /// Run `policy` to completion and return the report.
     pub fn run(&self, policy: &mut dyn MasterPolicy) -> Result<SimReport, SimError> {
+        policy.trace_labels(self.record_trace);
         let p = self.platform.len();
         let mut workers: Vec<WorkerState> = self
             .platform
@@ -360,7 +382,7 @@ mod tests {
                     blocks: 1,
                     spawn_updates: 1,
                     mem_delta: if self.issued <= self.p { 1 } else { 0 },
-                    label: format!("blk{}", self.issued),
+                    label: format!("blk{}", self.issued).into(),
                 }
             } else if self.recvs_done < self.p {
                 let from = WorkerId(self.recvs_done);
@@ -369,7 +391,7 @@ mod tests {
                     from,
                     blocks: 1,
                     mem_delta: -1,
-                    label: format!("res{}", self.recvs_done),
+                    label: format!("res{}", self.recvs_done).into(),
                 }
             } else {
                 Decision::Finished

@@ -30,7 +30,7 @@ pub mod report;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Decision, MasterPolicy, SimError, Simulator, WorkerView};
+pub use engine::{label_if, Decision, Label, MasterPolicy, SimError, Simulator, WorkerView};
 pub use report::SimReport;
 pub use time::SimTime;
 pub use trace::{Activity, Resource, Trace};

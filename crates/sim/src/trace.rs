@@ -3,6 +3,7 @@
 use crate::time::SimTime;
 use mwp_platform::WorkerId;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// The resource an [`Activity`] occupied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -38,7 +39,8 @@ pub struct Activity {
     /// End time.
     pub end: SimTime,
     /// Free-form label for Gantt rendering (e.g. `"B1,3"`, `"C chunk 2"`).
-    pub label: String,
+    /// Borrowed for fixed strings; owned only for formatted detail.
+    pub label: Cow<'static, str>,
 }
 
 impl Activity {

@@ -1,0 +1,225 @@
+//! Minimal local stand-in for the `bytes` crate.
+//!
+//! Provides the one type this workspace uses: [`Bytes`], an immutable,
+//! reference-counted byte buffer whose clones and slices share the same
+//! backing storage (clone = refcount bump, never a copy). The API is the
+//! subset of `bytes::Bytes` the message layer consumes.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Repr {
+    /// Borrowed from static storage — no allocation at all.
+    Static(&'static [u8]),
+    /// Shared ownership of a heap buffer. `From<Vec<u8>>` takes the vector
+    /// without copying its contents.
+    Shared(Arc<Vec<u8>>),
+    /// Shared ownership of an arbitrary byte owner whose `Drop` runs when
+    /// the last view goes away (the hook buffer pools use to reclaim
+    /// storage).
+    Owner(Arc<dyn AsRef<[u8]> + Send + Sync>),
+}
+
+/// An immutable, cheaply cloneable byte buffer.
+///
+/// Cloning or slicing never copies the underlying bytes; both operations
+/// produce a new view onto the same reference-counted storage.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Bytes { repr: Repr::Static(&[]), off: 0, len: 0 }
+    }
+
+    /// A view over static data (no allocation).
+    pub const fn from_static(s: &'static [u8]) -> Self {
+        Bytes { repr: Repr::Static(s), off: 0, len: s.len() }
+    }
+
+    /// Copy `s` into fresh shared storage.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Wrap an arbitrary byte owner without copying. The owner is dropped
+    /// when the last `Bytes` view (clone or slice) is dropped — which lets
+    /// pools reclaim buffers through the owner's `Drop` impl.
+    pub fn from_owner<T: AsRef<[u8]> + Send + Sync + 'static>(owner: T) -> Self {
+        let len = owner.as_ref().len();
+        Bytes { repr: Repr::Owner(Arc::new(owner)), off: 0, len }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-view sharing the same backing storage (refcount bump).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice {start}..{end} out of bounds of {}", self.len);
+        Bytes {
+            repr: self.repr.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Pointer to the first byte of this view (stable across clones of the
+    /// same view — used by zero-copy sharing tests).
+    pub fn as_ptr(&self) -> *const u8 {
+        self.as_slice().as_ptr()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => &s[self.off..self.off + self.len],
+            Repr::Shared(v) => &v[self.off..self.off + self.len],
+            Repr::Owner(o) => &o.as_ref().as_ref()[self.off..self.off + self.len],
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of the vector without copying the contents.
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes { repr: Repr::Shared(Arc::new(v)), off: 0, len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes(len={})", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(&*b, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slice_shares_storage() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = a.slice(2..5);
+        assert_eq!(&*s, &[2, 3, 4]);
+        assert_eq!(s.as_ptr(), unsafe { a.as_ptr().add(2) });
+        let s2 = s.slice(1..);
+        assert_eq!(&*s2, &[3, 4]);
+    }
+
+    #[test]
+    fn from_vec_does_not_copy() {
+        let v = vec![9u8; 64];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), p);
+    }
+
+    #[test]
+    fn equality_by_content() {
+        assert_eq!(Bytes::from(vec![1, 2]), Bytes::from_static(&[1, 2]));
+        assert_ne!(Bytes::from(vec![1, 2]), Bytes::new());
+    }
+
+    #[test]
+    fn owner_dropped_with_last_view() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc as StdArc;
+        struct Owner(Vec<u8>, StdArc<AtomicBool>);
+        impl AsRef<[u8]> for Owner {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Owner {
+            fn drop(&mut self) {
+                self.1.store(true, Ordering::SeqCst);
+            }
+        }
+        let dropped = StdArc::new(AtomicBool::new(false));
+        let b = Bytes::from_owner(Owner(vec![1, 2, 3], dropped.clone()));
+        let s = b.slice(1..);
+        assert_eq!(&*s, &[2, 3]);
+        drop(b);
+        assert!(!dropped.load(Ordering::SeqCst), "slice still alive");
+        drop(s);
+        assert!(dropped.load(Ordering::SeqCst), "owner must drop with last view");
+    }
+}

@@ -1,0 +1,43 @@
+//! Minimal local stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`
+//! (which since Rust 1.72 *is* the crossbeam channel implementation). The
+//! names match the subset the message layer uses: `unbounded`, `Sender`,
+//! `Receiver`, `RecvError`, `TryRecvError`, `SendError`.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn roundtrip_and_errors() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(rx.try_recv().is_err()); // empty
+        drop(tx);
+        assert!(rx.recv().is_err()); // disconnected
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = channel::unbounded();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let sum: u64 = (0..100).map(|_| rx.recv().unwrap()).sum();
+        assert_eq!(sum, 4950);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! Minimal local stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync::{Mutex, Condvar}` behind parking_lot's poison-free
+//! API: `lock()` returns the guard directly and `Condvar::wait` takes the
+//! guard by `&mut`. Poisoned locks are transparently recovered (the data
+//! is still returned), matching parking_lot's no-poisoning semantics.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// A mutual exclusion primitive (no lock poisoning).
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub const fn new(t: T) -> Self {
+        Mutex(StdMutex::new(t))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex`].
+///
+/// The inner `Option` is only ever `None` transiently inside
+/// [`Condvar::wait`], which takes the std guard out and puts the
+/// reacquired one back before returning.
+pub struct MutexGuard<'a, T: ?Sized>(Option<StdGuard<'a, T>>);
+
+impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Condvar(StdCondvar::new())
+    }
+
+    /// Atomically release the guard's lock and wait for a notification,
+    /// reacquiring the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present before wait");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wakeup() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut started = lock.lock();
+            *started = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut started = lock.lock();
+        while !*started {
+            cv.wait(&mut started);
+        }
+        h.join().unwrap();
+        assert!(*started);
+    }
+}

@@ -1,0 +1,353 @@
+//! Minimal local stand-in for `proptest`.
+//!
+//! Deterministic property testing: each `proptest!` test runs its body for
+//! `ProptestConfig::cases` inputs drawn from the given strategies with a
+//! fixed-seed PRNG (same inputs every run — reproducible CI). Supported
+//! strategy surface: numeric ranges, tuples of strategies, and `prop_map`.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic xorshift64* generator driving input generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded source; the seed is derived from the test name so different
+    /// tests explore different inputs while staying reproducible.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed | 1 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of test-case inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value. The first few draws of a range strategy visit its
+    /// boundary values (classic edge-case bias), then sampling is uniform.
+    fn sample(&self, case: usize, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, case: usize, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(case, rng))
+    }
+}
+
+/// Always produces the same value.
+#[derive(Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _case: usize, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, case: usize, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Bias the first two cases toward the boundaries.
+                let v = match case {
+                    0 => 0,
+                    1 => span - 1,
+                    _ => (rng.next_u64() as u128) % span,
+                };
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, case: usize, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let u = match case {
+            0 => 0.0,
+            1 => 1.0 - f64::EPSILON,
+            _ => rng.unit_f64(),
+        };
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, case: usize, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(case, rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Failure of a single generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The inputs do not satisfy an assumption; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed property.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// Stable 64-bit FNV-1a over the test name, seeding its input stream.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` for every generated input.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+                let strategy = ($($s,)+);
+                for case in 0..config.cases as usize {
+                    let ($($p,)+) = $crate::Strategy::sample(&strategy, case, &mut rng);
+                    #[allow(unreachable_code)]
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("{} failed at generated case {case}: {msg}", stringify!($name));
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert a property inside `proptest!`; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!("assertion failed: ", stringify!($cond))));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({a:?} vs {b:?})",
+                stringify!($a), stringify!($b),
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Skip the current case when its inputs violate a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::seed_from_name;
+
+    fn doubled() -> impl Strategy<Value = usize> {
+        (1usize..50).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {y} out of range");
+        }
+
+        #[test]
+        fn mapped_strategy_applies(d in doubled()) {
+            prop_assert_eq!(d % 2, 0);
+            prop_assert!(d >= 2 && d < 100);
+        }
+
+        #[test]
+        fn tuple_strategies_work((a, b) in (1u32..5, 1u32..5)) {
+            prop_assert!(a < 5 && b < 5);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_form_compiles(n in 0u64..100) {
+            prop_assert!(n < 100);
+        }
+    }
+
+    #[test]
+    fn boundary_bias_hits_edges() {
+        let mut rng = TestRng::new(1);
+        let s = 5usize..9;
+        assert_eq!(s.sample(0, &mut rng), 5);
+        assert_eq!(s.sample(1, &mut rng), 8);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::new(seed_from_name("t"));
+        let mut b = TestRng::new(seed_from_name("t"));
+        for case in 0..20 {
+            assert_eq!((0usize..1000).sample(case, &mut a), (0usize..1000).sample(case, &mut b));
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Minimal local stand-in for `rayon`.
+//!
+//! Real data parallelism (no sequential fallback): work is split into
+//! contiguous chunks across `available_parallelism()` OS threads with
+//! `std::thread::scope`. Only the API subset this workspace uses is
+//! provided:
+//!
+//! * `range.into_par_iter().map(f).collect::<Vec<_>>()` (ordered),
+//! * `vec.into_par_iter().map(f).collect::<Vec<_>>()` (ordered),
+//! * `slice.par_iter_mut().for_each(f)` and `.enumerate().for_each(f)`.
+//!
+//! Unlike rayon there is no work-stealing pool; each call spawns scoped
+//! threads. That is the right trade-off here: the callers parallelize
+//! coarse block-level work (whole `q × q` GEMMs, whole experiment tables)
+//! where spawn cost is noise.
+
+use std::ops::Range;
+
+/// Number of worker threads to fan out over.
+fn threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Ceiling division, never zero.
+fn chunk_size(len: usize, parts: usize) -> usize {
+    len.div_ceil(parts.max(1)).max(1)
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefMutIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// The operations our parallel iterators support.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Drain into an ordered `Vec`, running `self` in parallel.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Map each element through `f` (applied in parallel at drain time).
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Collect into any container, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Apply `f` to every element in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+        Self::Item: Send,
+    {
+        self.map(|x| f(x)).run();
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+    fn run(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazily mapped parallel iterator; the parallel fan-out happens in `run`.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        let items = self.inner.run();
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let f = &self.f;
+        let nt = threads().min(n);
+        if nt <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = chunk_size(n, nt);
+        // Split the owned items into per-thread chunks, preserving order.
+        let mut chunks: Vec<Vec<I::Item>> = Vec::with_capacity(nt);
+        let mut it = items.into_iter();
+        loop {
+            let c: Vec<I::Item> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+        let mut results: Vec<Vec<U>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon-shim worker panicked"))
+                .collect();
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// `par_iter_mut` on slices and vectors.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item: Send + 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self.as_mut_slice() }
+    }
+}
+
+/// Parallel mutable iterator over a slice.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> SliceIterMut<'a, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { slice: self.slice }
+    }
+
+    /// Apply `f` to every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        self.enumerate().for_each(|(_, t)| f(t));
+    }
+}
+
+/// Enumerated parallel mutable iterator.
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> EnumerateMut<'a, T> {
+    /// Apply `f(index, &mut element)` to every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        let n = self.slice.len();
+        if n == 0 {
+            return;
+        }
+        let nt = threads().min(n);
+        if nt <= 1 {
+            for (i, t) in self.slice.iter_mut().enumerate() {
+                f((i, t));
+            }
+            return;
+        }
+        let chunk = chunk_size(n, nt);
+        let f = &f;
+        std::thread::scope(|s| {
+            for (ci, part) in self.slice.chunks_mut(chunk).enumerate() {
+                s.spawn(move || {
+                    for (k, t) in part.iter_mut().enumerate() {
+                        f((ci * chunk + k, t));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn vec_map_collect_preserves_order() {
+        let v: Vec<String> = vec![3u32, 1, 4, 1, 5]
+            .into_par_iter()
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(v, vec!["3", "1", "4", "1", "5"]);
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v = vec![0u64; 999];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as u64 + 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        (0..256).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        });
+        // With >1 hardware threads the work must have spread out.
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+            assert!(ids.lock().unwrap().len() > 1, "all work ran on one thread");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let mut e: Vec<u8> = Vec::new();
+        e.par_iter_mut().for_each(|_| unreachable!());
+    }
+}

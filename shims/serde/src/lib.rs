@@ -1,0 +1,14 @@
+//! Minimal local stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits plus no-op derive
+//! macros under the same names (mirroring real serde's layout, where the
+//! trait and the derive share a path). Enough for code that derives the
+//! traits without ever driving a serializer.
+
+/// Marker: the type is serialization-ready.
+pub trait Serialize {}
+
+/// Marker: the type is deserialization-ready.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

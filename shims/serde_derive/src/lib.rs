@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace derives serde traits only to keep its public types
+//! serialization-ready; nothing in-tree performs actual serde
+//! serialization (the one JSON emitter is hand-rolled). These derives
+//! therefore expand to nothing, letting `#[derive(Serialize, Deserialize)]`
+//! compile without the real serde machinery.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,124 @@
+//! The zero-copy contract of the block data path: fan-out shares one
+//! backing buffer end to end, and the rewritten runtime still computes
+//! exactly what the serial product computes.
+
+use bytes::Bytes;
+use master_worker_matrix::prelude::*;
+use mwp_blockmat::fill::random_matrix;
+use mwp_blockmat::gemm::gemm_serial;
+use mwp_blockmat::SharedPayloads;
+use mwp_msg::{Frame, FrameKind, StarNetwork, Tag};
+use std::thread;
+
+/// A `B` block fanned out to several workers must arrive in every one of
+/// them backed by the **same** buffer: the payload pointer observed inside
+/// each worker thread is identical (refcount bumps, zero copies), and it
+/// is the pointer of the master's shared payload cache itself.
+#[test]
+fn b_block_fanout_shares_one_backing_buffer() {
+    let platform = Platform::homogeneous(3, 1.0, 1.0, 16).unwrap();
+    let (master, workers) = StarNetwork::build(&platform, 0.0).into_endpoints();
+
+    let b = random_matrix(2, 4, 8, 42);
+    let payloads = SharedPayloads::new(&b);
+    let shared = payloads.get(1, 2);
+    let master_ptr = shared.as_ptr() as u64;
+
+    // Each worker reports the address of the payload it received.
+    let handles: Vec<_> = workers
+        .into_iter()
+        .map(|w| {
+            thread::spawn(move || {
+                let f = w.recv().unwrap();
+                assert_eq!(f.tag.kind, FrameKind::BlockB);
+                let ptr = f.payload.as_ptr() as u64;
+                w.send(Frame::new(
+                    Tag::new(FrameKind::Control, 0, 0),
+                    Bytes::from(ptr.to_le_bytes().to_vec()),
+                ));
+            })
+        })
+        .collect();
+
+    for i in 0..3 {
+        master.send(
+            WorkerId(i),
+            Frame::new(Tag::new(FrameKind::BlockB, 1, 2), shared.clone()),
+            1,
+        );
+    }
+    for i in 0..3 {
+        let (f, _) = master.recv(WorkerId(i), 0).unwrap();
+        let ptr = u64::from_le_bytes(f.payload[..8].try_into().unwrap());
+        assert_eq!(
+            ptr, master_ptr,
+            "worker {i} received a copy instead of a view of the shared buffer"
+        );
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Multi-block run payloads (a whole `B` row stretch) are also views of
+/// the one shared buffer, not copies.
+#[test]
+fn row_run_fanout_shares_one_backing_buffer() {
+    let b = random_matrix(3, 5, 4, 7);
+    let payloads = SharedPayloads::new(&b);
+    let run_a = payloads.row_run(2, 1, 3);
+    let run_b = payloads.row_run(2, 1, 3);
+    assert_eq!(run_a.as_ptr(), run_b.as_ptr());
+    // The run starts exactly at block (2,1)'s payload.
+    assert_eq!(run_a.as_ptr(), payloads.get(2, 1).as_ptr());
+    // Frames wrapping the run still share it.
+    let f1 = Frame::new(Tag::new(FrameKind::BlockB, 2, 1), run_a.clone());
+    let f2 = Frame::new(Tag::new(FrameKind::BlockB, 2, 1), run_a.clone());
+    assert_eq!(f1.payload.as_ptr(), f2.payload.as_ptr());
+}
+
+/// After the zero-copy rewrite, the threaded runtime must still match the
+/// serial block product **bit for bit**: both accumulate each C block over
+/// `k` in ascending order with the identical kernel, so not even the last
+/// ulp may differ.
+#[test]
+fn run_holm_matches_gemm_serial_bitwise() {
+    let platform = Platform::homogeneous(4, 4.0, 1.0, 60).unwrap();
+    let q = 16;
+    let a = random_matrix(5, 7, q, 101);
+    let b = random_matrix(7, 9, q, 102);
+    let c0 = random_matrix(5, 9, q, 103);
+
+    let mut serial = c0.clone();
+    gemm_serial(&mut serial, &a, &b);
+
+    let out = run_holm(&platform, &a, &b, c0, 0.0).unwrap();
+    assert_eq!(
+        out.c.max_abs_diff(&serial),
+        0.0,
+        "threaded runtime and serial product must be bit-identical"
+    );
+}
+
+/// Same bitwise guarantee for the heterogeneous two-phase runtime, whose
+/// chunks have per-worker sizes.
+#[test]
+fn run_heterogeneous_matches_gemm_serial_bitwise() {
+    let platform = Platform::new(vec![
+        WorkerParams::new(2.0, 2.0, 60),
+        WorkerParams::new(3.0, 3.0, 396),
+        WorkerParams::new(5.0, 1.0, 140),
+    ])
+    .unwrap();
+    let q = 8;
+    let (r, t, s) = (10, 4, 13);
+    let a = random_matrix(r, t, q, 201);
+    let b = random_matrix(t, s, q, 202);
+    let c0 = random_matrix(r, s, q, 203);
+
+    let mut serial = c0.clone();
+    gemm_serial(&mut serial, &a, &b);
+
+    let out = run_heterogeneous(&platform, &a, &b, c0, SelectionRule::Global, 0.0).unwrap();
+    assert_eq!(out.c.max_abs_diff(&serial), 0.0);
+}
