@@ -16,7 +16,15 @@ fn bench_block_gemm(c: &mut Criterion) {
         let b_blk = random_block(q, 2);
         let flops = 2 * q * q * q;
         g.throughput(Throughput::Elements(flops as u64));
-        g.bench_with_input(BenchmarkId::new("tiled", q), &q, |bch, _| {
+        // One series per runnable kernel (scalar always; avx2 where the
+        // CPU supports it), plus the dispatched default and the oracle.
+        for kernel in mwp_blockmat::kernel::available() {
+            g.bench_with_input(BenchmarkId::new(kernel.name(), q), &q, |bch, _| {
+                let mut cblk = Block::zeros(q);
+                bch.iter(|| cblk.gemm_acc_with(kernel, black_box(&a), black_box(&b_blk)))
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("dispatched", q), &q, |bch, _| {
             let mut cblk = Block::zeros(q);
             bch.iter(|| cblk.gemm_acc(black_box(&a), black_box(&b_blk)))
         });

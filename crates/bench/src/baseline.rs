@@ -23,6 +23,26 @@ pub struct Measurement {
     pub name: String,
     /// Mean wall time per iteration, nanoseconds.
     pub ns_per_iter: f64,
+    /// Arithmetic throughput in GFLOP/s, for workloads with a known FLOP
+    /// count (block kernels: `2q³` per update). `None` for workloads whose
+    /// cost is dominated by scheduling/transport rather than arithmetic.
+    pub gflops: Option<f64>,
+}
+
+impl Measurement {
+    fn timed(name: impl Into<String>, ns_per_iter: f64) -> Self {
+        Measurement { name: name.into(), ns_per_iter, gflops: None }
+    }
+
+    /// A measurement with a known per-iteration FLOP count; `GFLOP/s`
+    /// falls out as `flops / ns` (1 flop/ns = 1 GFLOP/s).
+    fn with_flops(name: impl Into<String>, ns_per_iter: f64, flops: u64) -> Self {
+        Measurement {
+            name: name.into(),
+            ns_per_iter,
+            gflops: Some(flops as f64 / ns_per_iter),
+        }
+    }
 }
 
 /// Time `f` adaptively: calibrate, then take the best of three samples of
@@ -46,17 +66,25 @@ pub fn time_workload<O>(mut f: impl FnMut() -> O) -> f64 {
     best
 }
 
-/// Measure every baseline workload.
+/// Measure every baseline workload with the dispatched (active) kernel.
 pub fn measure_all() -> Vec<Measurement> {
     let mut out = Vec::new();
 
-    // The paper's unit of computation: one q = 80 block update.
-    {
-        let a = random_block(80, 1);
-        let b = random_block(80, 2);
-        let mut c = Block::zeros(80);
+    // Block-kernel q-sweep: tracks how the register-blocked microkernel
+    // scales from call-overhead-bound (q = 20) to FLOP-bound (q = 160),
+    // in GFLOP/s so kernel changes are measured, not asserted. The q = 80
+    // point is the paper's unit of computation; the same measurement also
+    // reports under its legacy `gemm_acc/q80` name (listed first) so the
+    // committed pre-optimization baseline stays comparable.
+    for q in [20usize, 40, 80, 160] {
+        let a = random_block(q, 1);
+        let b = random_block(q, 2);
+        let mut c = Block::zeros(q);
         let ns = time_workload(|| c.gemm_acc(black_box(&a), black_box(&b)));
-        out.push(Measurement { name: "gemm_acc/q80".into(), ns_per_iter: ns });
+        if q == 80 {
+            out.insert(0, Measurement::with_flops("gemm_acc/q80", ns, flops(q)));
+        }
+        out.push(Measurement::with_flops(format!("block_kernel/q{q}"), ns, flops(q)));
     }
 
     // Whole-matrix products, serial and parallel (6×6 blocks of q = 40,
@@ -71,13 +99,13 @@ pub fn measure_all() -> Vec<Measurement> {
             gemm_serial(&mut c, black_box(&a), &b);
             c
         });
-        out.push(Measurement { name: "gemm_serial/6x6_q40".into(), ns_per_iter: ns });
+        out.push(Measurement::timed("gemm_serial/6x6_q40", ns));
         let ns = time_workload(|| {
             let mut c = c0.clone();
             gemm_parallel(&mut c, black_box(&a), &b);
             c
         });
-        out.push(Measurement { name: "gemm_parallel/6x6_q40".into(), ns_per_iter: ns });
+        out.push(Measurement::timed("gemm_parallel/6x6_q40", ns));
     }
 
     // The end-to-end threaded runtime (matching `kernels.rs/threaded_runtime`).
@@ -92,10 +120,15 @@ pub fn measure_all() -> Vec<Measurement> {
                 .expect("runtime succeeds")
                 .blocks_moved
         });
-        out.push(Measurement { name: "run_holm/6x6x8_q20".into(), ns_per_iter: ns });
+        out.push(Measurement::timed("run_holm/6x6x8_q20", ns));
     }
 
     out
+}
+
+/// FLOPs in one `q × q` block update (`C += A·B`): `2q³`.
+fn flops(q: usize) -> u64 {
+    (2 * q * q * q) as u64
 }
 
 /// Render measurements as the `BENCH_baseline.json` document.
@@ -105,8 +138,12 @@ pub fn to_json(measurements: &[Measurement], label: &str) -> String {
     s.push_str("  \"benchmarks\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 == measurements.len() { "" } else { "," };
+        let gflops = match m.gflops {
+            Some(g) => format!(", \"gflops\": {g:.2}"),
+            None => String::new(),
+        };
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}}}{comma}\n",
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}{gflops}}}{comma}\n",
             m.name, m.ns_per_iter
         ));
     }
@@ -122,9 +159,13 @@ pub fn from_json(doc: &str) -> Vec<Measurement> {
         let line = line.trim();
         let Some(rest) = line.strip_prefix("{\"name\": \"") else { continue };
         let Some((name, rest)) = rest.split_once("\", \"ns_per_iter\": ") else { continue };
-        let num = rest.trim_end_matches(['}', ',', ' ']);
+        let (num, rest) = match rest.split_once(", \"gflops\": ") {
+            Some((num, g)) => (num, Some(g)),
+            None => (rest.trim_end_matches(['}', ',', ' ']), None),
+        };
+        let gflops = rest.and_then(|g| g.trim_end_matches(['}', ',', ' ']).parse::<f64>().ok());
         if let Ok(ns) = num.parse::<f64>() {
-            out.push(Measurement { name: name.to_string(), ns_per_iter: ns });
+            out.push(Measurement { name: name.to_string(), ns_per_iter: ns, gflops });
         }
     }
     out
@@ -137,12 +178,22 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let ms = vec![
-            Measurement { name: "a/b".into(), ns_per_iter: 1234.5 },
-            Measurement { name: "c".into(), ns_per_iter: 7.0 },
+            Measurement { name: "a/b".into(), ns_per_iter: 1234.5, gflops: None },
+            Measurement { name: "c".into(), ns_per_iter: 7.0, gflops: Some(26.25) },
         ];
         let doc = to_json(&ms, "test");
         let back = from_json(&doc);
         assert_eq!(back, ms);
+    }
+
+    #[test]
+    fn parses_pre_gflops_documents() {
+        // BENCH_baseline.json recorded before the gflops field existed.
+        let doc = "    {\"name\": \"gemm_acc/q80\", \"ns_per_iter\": 119954.6},\n";
+        let back = from_json(doc);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, "gemm_acc/q80");
+        assert_eq!(back[0].gflops, None);
     }
 
     #[test]

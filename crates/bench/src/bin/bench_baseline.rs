@@ -7,20 +7,49 @@
 //!
 //! `--write` measures the fixed workload set and writes `PATH` (default
 //! `BENCH_baseline.json`). `--compare` measures the current build and
-//! prints the speedup of each workload against the recorded baseline.
+//! prints the speedup of each workload against the recorded baseline;
+//! with `--min-speedup X` it exits nonzero if any workload falls below
+//! `X`× the baseline, so CI can fail on perf regressions instead of
+//! merely printing them.
+//! Block-kernel workloads also report GFLOP/s (2q³ FLOPs per update), so
+//! kernel throughput is tracked directly rather than inferred from time.
+//!
+//! Measurements run whatever kernel the dispatcher selects; force a
+//! specific one with `MWP_KERNEL=scalar|avx2` to compare code paths.
 
 use mwp_bench::baseline::{from_json, measure_all, to_json};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let min_speedup = match args.iter().position(|a| a == "--min-speedup") {
+        Some(i) => {
+            let v = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--min-speedup needs a numeric threshold");
+                    std::process::exit(2);
+                });
+            args.drain(i..i + 2);
+            Some(v)
+        }
+        None => None,
+    };
     let mode = args.first().map(String::as_str).unwrap_or("--compare");
     let path = args.get(1).map(String::as_str).unwrap_or("BENCH_baseline.json");
+    println!("block kernel: {}", mwp_blockmat::kernel::active().name());
 
     match mode {
         "--write" => {
             let ms = measure_all();
             for m in &ms {
-                println!("{:<28} {:>14.1} ns/iter", m.name, m.ns_per_iter);
+                match m.gflops {
+                    Some(g) => println!(
+                        "{:<28} {:>14.1} ns/iter {:>8.2} GFLOP/s",
+                        m.name, m.ns_per_iter, g
+                    ),
+                    None => println!("{:<28} {:>14.1} ns/iter", m.name, m.ns_per_iter),
+                }
             }
             let doc = to_json(&ms, "pre-optimization baseline");
             std::fs::write(path, doc).expect("write baseline file");
@@ -33,23 +62,50 @@ fn main() {
             assert!(!baseline.is_empty(), "no benchmarks parsed from {path}");
             let current = measure_all();
             println!(
-                "{:<28} {:>14} {:>14} {:>9}",
-                "workload", "baseline ns", "current ns", "speedup"
+                "{:<28} {:>14} {:>14} {:>9} {:>9}",
+                "workload", "baseline ns", "current ns", "speedup", "GFLOP/s"
             );
             let mut worst: f64 = f64::INFINITY;
+            let mut compared = 0usize;
             for c in &current {
+                let gflops = c.gflops.map_or(String::new(), |g| format!("{g:9.2}"));
                 let Some(b) = baseline.iter().find(|b| b.name == c.name) else {
-                    println!("{:<28} {:>14} {:>14.1} {:>9}", c.name, "-", c.ns_per_iter, "new");
+                    println!(
+                        "{:<28} {:>14} {:>14.1} {:>9} {gflops}",
+                        c.name, "-", c.ns_per_iter, "new"
+                    );
                     continue;
                 };
                 let speedup = b.ns_per_iter / c.ns_per_iter;
                 worst = worst.min(speedup);
+                compared += 1;
                 println!(
-                    "{:<28} {:>14.1} {:>14.1} {:>8.2}x",
+                    "{:<28} {:>14.1} {:>14.1} {:>8.2}x {gflops}",
                     c.name, b.ns_per_iter, c.ns_per_iter, speedup
                 );
             }
-            println!("worst speedup vs baseline: {worst:.2}x");
+            // Baseline entries the current build no longer measures are a
+            // coverage hole, not a pass — always surface them.
+            for b in &baseline {
+                if !current.iter().any(|c| c.name == b.name) {
+                    println!("{:<28} {:>14.1} {:>14} (no longer measured)", b.name, b.ns_per_iter, "-");
+                }
+            }
+            println!("worst speedup vs baseline: {worst:.2}x ({compared} workloads compared)");
+            if let Some(floor) = min_speedup {
+                if compared == 0 {
+                    eprintln!(
+                        "FAIL: no workload matched the baseline file — the \
+                         --min-speedup gate would pass vacuously"
+                    );
+                    std::process::exit(1);
+                }
+                if worst < floor {
+                    eprintln!("FAIL: worst speedup {worst:.2}x is below the --min-speedup floor {floor}x");
+                    std::process::exit(1);
+                }
+                println!("all {compared} compared workloads at or above the {floor}x floor");
+            }
         }
         other => {
             eprintln!("unknown mode {other}; use --write or --compare");

@@ -1,5 +1,6 @@
 //! A single `q × q` block of matrix coefficients.
 
+use crate::kernel::{self, Kernel};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -15,11 +16,6 @@ pub struct Block {
     q: usize,
     data: Vec<f64>,
 }
-
-/// Tile side for the cache-blocked GEMM micro-kernel. 32×32 f64 tiles
-/// (3 × 8 KiB working set) stay comfortably within L1 on all mainstream
-/// CPUs.
-const TILE: usize = 32;
 
 impl Block {
     /// A zero block of side `q`.
@@ -84,66 +80,29 @@ impl Block {
 
     /// The block update `self += a · b` — the paper's unit of computation.
     ///
-    /// Uses a cache-tiled i-k-j loop nest with the k dimension unrolled
-    /// four-wide: each pass streams four `b` rows against one `c` row, so
-    /// the `c` row is loaded and stored once per four rank-1 updates
-    /// instead of once per update. The per-`j` accumulation order over `k`
-    /// is identical to the rolled loop, so results are bit-for-bit the
-    /// same — and there is no data-dependent branch in the inner loop to
-    /// block vectorization.
+    /// Runs the process-wide dispatched kernel ([`kernel::active`]): the
+    /// register-blocked AVX2/FMA microkernel where the CPU supports it,
+    /// the cache-tiled scalar loop everywhere else, overridable with
+    /// `MWP_KERNEL=scalar|avx2`. Loops that perform many updates should
+    /// resolve the kernel once and call [`Block::gemm_acc_with`] instead.
     pub fn gemm_acc(&mut self, a: &Block, b: &Block) {
+        self.gemm_acc_with(kernel::active(), a, b);
+    }
+
+    /// The block update through an explicitly chosen kernel — the hot-loop
+    /// form (and the hook kernel-equivalence tests use to pit kernels
+    /// against each other in one process).
+    pub fn gemm_acc_with(&mut self, kernel: &Kernel, a: &Block, b: &Block) {
         let q = self.q;
         assert_eq!(a.q, q, "A side must match C");
         assert_eq!(b.q, q, "B side must match C");
-        let av = &a.data;
-        let bv = &b.data;
-        let cv = &mut self.data;
-        let mut ii = 0;
-        while ii < q {
-            let i_end = (ii + TILE).min(q);
-            let mut kk = 0;
-            while kk < q {
-                let k_end = (kk + TILE).min(q);
-                for i in ii..i_end {
-                    let arow = &av[i * q..][..q];
-                    let crow = &mut cv[i * q..][..q];
-                    let mut k = kk;
-                    while k + 4 <= k_end {
-                        let a0 = arow[k];
-                        let a1 = arow[k + 1];
-                        let a2 = arow[k + 2];
-                        let a3 = arow[k + 3];
-                        let b0 = &bv[k * q..][..q];
-                        let b1 = &bv[(k + 1) * q..][..q];
-                        let b2 = &bv[(k + 2) * q..][..q];
-                        let b3 = &bv[(k + 3) * q..][..q];
-                        for j in 0..q {
-                            let mut s = crow[j];
-                            s += a0 * b0[j];
-                            s += a1 * b1[j];
-                            s += a2 * b2[j];
-                            s += a3 * b3[j];
-                            crow[j] = s;
-                        }
-                        k += 4;
-                    }
-                    while k < k_end {
-                        let aik = arow[k];
-                        let brow = &bv[k * q..][..q];
-                        for (cj, bj) in crow.iter_mut().zip(brow.iter()) {
-                            *cj += aik * *bj;
-                        }
-                        k += 1;
-                    }
-                }
-                kk = k_end;
-            }
-            ii = i_end;
-        }
+        kernel.gemm_acc(&mut self.data, &a.data, &b.data, q, q, q, 1.0);
     }
 
-    /// Reference (naive triple-loop) block update, used as ground truth in
-    /// tests of the tiled kernel.
+    /// Reference (naive triple-loop) block update — the documented test
+    /// oracle. Every optimized kernel (scalar and SIMD) is verified
+    /// against this, and [`crate::gemm::verify_product`] builds its
+    /// expectation with it, so the optimized path never verifies itself.
     pub fn gemm_acc_naive(&mut self, a: &Block, b: &Block) {
         let q = self.q;
         assert_eq!(a.q, q);
@@ -296,8 +255,9 @@ mod tests {
     }
 
     #[test]
-    fn tiled_matches_naive_on_odd_sizes() {
-        // Sides that are not multiples of the tile exercise edge handling.
+    fn dispatched_matches_naive_on_odd_sizes() {
+        // Sides that are not multiples of any tile exercise edge handling,
+        // whichever kernel the dispatcher selected.
         for q in [1, 2, 3, 31, 32, 33, 47, 80] {
             let a = seq_block(q, 0.5);
             let b = seq_block(q, -3.0);
@@ -307,7 +267,7 @@ mod tests {
             c2.gemm_acc_naive(&a, &b);
             assert!(
                 c1.max_abs_diff(&c2) <= 1e-6 * c2.max_abs().max(1.0),
-                "q = {q}: tiled and naive kernels diverge"
+                "q = {q}: dispatched and naive kernels diverge"
             );
         }
     }
@@ -347,7 +307,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_tiled_equals_naive(q in 1usize..40, seed in 0u64..1000) {
+        fn prop_dispatched_equals_naive(q in 1usize..40, seed in 0u64..1000) {
             use rand::{Rng, SeedableRng};
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let mut gen = |q: usize| {

@@ -1,21 +1,24 @@
 //! Whole-matrix multiplication: the ground truth the master-worker runtime
 //! is verified against, in serial and rayon-parallel flavours.
 
+use crate::kernel;
 use crate::matrix::BlockMatrix;
 use rayon::prelude::*;
 
 /// Serial `C ← C + A × B` at the block level.
 ///
-/// Panics if the block shapes do not conform (`A : r × t`, `B : t × s`,
-/// `C : r × s`, equal `q`).
+/// Runs the dispatched block kernel, resolved once for the whole product
+/// rather than per block update. Panics if the block shapes do not
+/// conform (`A : r × t`, `B : t × s`, `C : r × s`, equal `q`).
 pub fn gemm_serial(c: &mut BlockMatrix, a: &BlockMatrix, b: &BlockMatrix) {
     check_conformance(c, a, b);
+    let kernel = kernel::active();
     let t = a.cols();
     for i in 0..c.rows() {
         for j in 0..c.cols() {
             let cij = c.block_mut(i, j);
             for k in 0..t {
-                cij.gemm_acc(a.block(i, k), b.block(k, j));
+                cij.gemm_acc_with(kernel, a.block(i, k), b.block(k, j));
             }
         }
     }
@@ -30,12 +33,13 @@ pub fn gemm_serial(c: &mut BlockMatrix, a: &BlockMatrix, b: &BlockMatrix) {
 /// in increasing order within each C block, and C blocks never share state.
 pub fn gemm_parallel(c: &mut BlockMatrix, a: &BlockMatrix, b: &BlockMatrix) {
     check_conformance(c, a, b);
+    let kernel = kernel::active();
     let t = a.cols();
     let cols = c.cols();
     c.blocks_mut().par_iter_mut().enumerate().for_each(|(idx, cij)| {
         let (i, j) = (idx / cols, idx % cols);
         for k in 0..t {
-            cij.gemm_acc(a.block(i, k), b.block(k, j));
+            cij.gemm_acc_with(kernel, a.block(i, k), b.block(k, j));
         }
     });
 }
@@ -55,7 +59,28 @@ fn check_conformance(c: &BlockMatrix, a: &BlockMatrix, b: &BlockMatrix) {
     assert_eq!(c.cols(), b.cols(), "C cols must match B cols");
 }
 
+/// Serial block product through the naive triple-loop oracle
+/// ([`crate::Block::gemm_acc_naive`]) — deliberately independent of the
+/// dispatched kernel, so verification never checks the optimized path
+/// against itself.
+pub fn gemm_serial_oracle(c: &mut BlockMatrix, a: &BlockMatrix, b: &BlockMatrix) {
+    check_conformance(c, a, b);
+    let t = a.cols();
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            let cij = c.block_mut(i, j);
+            for k in 0..t {
+                cij.gemm_acc_naive(a.block(i, k), b.block(k, j));
+            }
+        }
+    }
+}
+
 /// Verify `c ≈ c0 + a·b` within `tol`, returning the max abs deviation.
+///
+/// The expectation is built with [`gemm_serial_oracle`] (the documented
+/// naive oracle), not the dispatched kernel, so this catches a broken
+/// optimized kernel instead of agreeing with it.
 pub fn verify_product(
     c: &BlockMatrix,
     c0: &BlockMatrix,
@@ -64,7 +89,7 @@ pub fn verify_product(
     tol: f64,
 ) -> Result<f64, f64> {
     let mut expected = c0.clone();
-    gemm_serial(&mut expected, a, b);
+    gemm_serial_oracle(&mut expected, a, b);
     let err = c.max_abs_diff(&expected);
     if err <= tol {
         Ok(err)

@@ -1,0 +1,151 @@
+//! Register-blocked AVX2/FMA microkernel: a 4×8 C tile held in eight YMM
+//! accumulators, FMA-updated from packed B panels.
+//!
+//! Shape of the computation (`C (m×n) += A (m×k) · B_packed`):
+//!
+//! * B is repacked into [`NR`]-wide panels ([`super::pack`]), `alpha`
+//!   folded in, tail panel zero-padded.
+//! * The i-loop walks 4-row stripes of A and C; for each stripe every
+//!   panel is streamed once, so one packed panel serves the whole stripe
+//!   and the pack cost amortizes over the i-loop.
+//! * The microkernel keeps the full `MR × NR` C tile in registers: 8
+//!   accumulators + 2 B vectors + 1 broadcast = 11 of 16 YMM registers.
+//!   Each k iteration issues 8 FMAs over 8 independent accumulator
+//!   chains, enough ILP to saturate both FMA ports.
+//! * Row tails (`m % 4`) run the same kernel monomorphized at `MR` =
+//!   1–3; column tails (`n % 8`) run it on a stack scratch tile whose
+//!   live columns are copied in and out around the call.
+//!
+//! Accumulation order over `k` is increasing, exactly like the scalar
+//! kernel; results differ from scalar only by FMA's unrounded multiplies,
+//! within `k · ‖A‖ · ‖B‖ · ε` elementwise.
+//!
+//! # Safety
+//! Everything here requires AVX2 + FMA at runtime. The only safe route in
+//! is [`super::dispatch`], which verifies `is_x86_feature_detected!` once
+//! before exposing this kernel.
+
+#[cfg(target_arch = "x86")]
+use std::arch::x86::*;
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+use super::pack::{pack_b, with_pack_buf, MR, NR};
+
+/// Dispatch-table entry: `C += alpha · A · B` via the packed microkernel.
+///
+/// # Safety
+/// The CPU must support AVX2 and FMA (guaranteed by `dispatch` before
+/// this function pointer is ever handed out), and the slices must have
+/// the advertised `m·n` / `m·k` / `k·n` lengths (checked by
+/// [`super::Kernel::gemm_acc`]).
+pub(super) unsafe fn gemm_acc(
+    c: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+) {
+    with_pack_buf(|buf| {
+        pack_b(b, k, n, alpha, buf);
+        // SAFETY: caller guarantees AVX2+FMA and slice shapes.
+        unsafe { gemm_packed(c, a, buf, m, n, k) }
+    })
+}
+
+/// The stripe/panel loop over the packed B buffer.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_packed(c: &mut [f64], a: &[f64], bp: &[f64], m: usize, n: usize, k: usize) {
+    let panel_stride = k * NR;
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = MR.min(m - i0);
+        let a_stripe = a.as_ptr().add(i0 * k);
+        let mut j0 = 0;
+        let mut panel = bp.as_ptr();
+        while j0 < n {
+            let nr = NR.min(n - j0);
+            if nr == NR {
+                // Full-width tile: accumulate straight into C.
+                let c_tile = c.as_mut_ptr().add(i0 * n + j0);
+                microkernel_rows(mr, c_tile, n, a_stripe, k, panel);
+            } else {
+                // Column tail: stage the live columns through a scratch
+                // tile so the kernel always sees an NR-wide C.
+                let mut tile = [0.0f64; MR * NR];
+                for r in 0..mr {
+                    std::ptr::copy_nonoverlapping(
+                        c.as_ptr().add((i0 + r) * n + j0),
+                        tile.as_mut_ptr().add(r * NR),
+                        nr,
+                    );
+                }
+                microkernel_rows(mr, tile.as_mut_ptr(), NR, a_stripe, k, panel);
+                for r in 0..mr {
+                    std::ptr::copy_nonoverlapping(
+                        tile.as_ptr().add(r * NR),
+                        c.as_mut_ptr().add((i0 + r) * n + j0),
+                        nr,
+                    );
+                }
+            }
+            j0 += NR;
+            panel = panel.add(panel_stride);
+        }
+        i0 += MR;
+    }
+}
+
+/// Monomorphize the row count: full stripes take the 4-row kernel, the
+/// last stripe takes the matching 1–3-row variant.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_rows(
+    mr: usize,
+    c: *mut f64,
+    ldc: usize,
+    a: *const f64,
+    lda: usize,
+    panel: *const f64,
+    // `lda` doubles as the k extent: A rows are exactly k long.
+) {
+    match mr {
+        4 => microkernel::<4>(c, ldc, a, lda, panel),
+        3 => microkernel::<3>(c, ldc, a, lda, panel),
+        2 => microkernel::<2>(c, ldc, a, lda, panel),
+        1 => microkernel::<1>(c, ldc, a, lda, panel),
+        _ => unreachable!("stripe height is 1..=MR"),
+    }
+}
+
+/// The register tile: `C[0..R][0..8] += A[0..R][0..k] · panel`, with the
+/// `R × 8` C tile resident in `2R` YMM accumulators for the whole k loop.
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel<const R: usize>(
+    c: *mut f64,
+    ldc: usize,
+    a: *const f64,
+    k: usize,
+    panel: *const f64,
+) {
+    let mut lo = [_mm256_setzero_pd(); R];
+    let mut hi = [_mm256_setzero_pd(); R];
+    for r in 0..R {
+        lo[r] = _mm256_loadu_pd(c.add(r * ldc));
+        hi[r] = _mm256_loadu_pd(c.add(r * ldc + 4));
+    }
+    for kk in 0..k {
+        let b_lo = _mm256_loadu_pd(panel.add(kk * NR));
+        let b_hi = _mm256_loadu_pd(panel.add(kk * NR + 4));
+        for r in 0..R {
+            let av = _mm256_broadcast_sd(&*a.add(r * k + kk));
+            lo[r] = _mm256_fmadd_pd(av, b_lo, lo[r]);
+            hi[r] = _mm256_fmadd_pd(av, b_hi, hi[r]);
+        }
+    }
+    for r in 0..R {
+        _mm256_storeu_pd(c.add(r * ldc), lo[r]);
+        _mm256_storeu_pd(c.add(r * ldc + 4), hi[r]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Runtime kernel selection, cached in a `OnceLock`.
+//!
+//! CPU-feature detection runs exactly once per process — the first block
+//! update resolves the table, every later call is one atomic load. No hot
+//! path ever re-runs `is_x86_feature_detected!` per block update.
+//!
+//! Selection order:
+//! 1. `MWP_KERNEL=scalar|avx2` forces a kernel (a forced kernel the CPU
+//!    cannot run is a hard error — a silent fallback would make "tested
+//!    the SIMD path" a lie on machines without it);
+//! 2. otherwise the fastest kernel the CPU supports wins (AVX2+FMA when
+//!    detected, scalar everywhere else).
+
+use std::sync::OnceLock;
+
+/// Raw kernel entry: `C (m×n) += alpha · A (m×k) · B (k×n)`, row-major
+/// contiguous. Unsafe because the AVX2 entry requires CPU support the
+/// dispatcher establishes; shape checking is done by [`Kernel::gemm_acc`].
+type GemmAccRaw = unsafe fn(&mut [f64], &[f64], &[f64], usize, usize, usize, f64);
+
+/// One entry of the dispatch table.
+///
+/// Instances are only constructed by this module, after validating that
+/// the CPU can execute them — every `&Kernel` in the program is safe to
+/// call. Grab one with [`active`] (honours `MWP_KERNEL`), [`by_name`], or
+/// [`available`], and hold it across a loop to keep even the `OnceLock`
+/// load out of per-block code.
+pub struct Kernel {
+    name: &'static str,
+    gemm_acc: GemmAccRaw,
+}
+
+impl Kernel {
+    /// Kernel name as accepted by `MWP_KERNEL` (`"scalar"`, `"avx2"`).
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// `C (m×n) += alpha · A (m×k) · B (k×n)`, row-major contiguous
+    /// (`ldc = n`, `lda = k`, `ldb = n`). `alpha` is exact for `±1.0`.
+    #[inline]
+    pub fn gemm_acc(
+        &self,
+        c: &mut [f64],
+        a: &[f64],
+        b: &[f64],
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+    ) {
+        assert_eq!(c.len(), m * n, "C must be m×n");
+        assert_eq!(a.len(), m * k, "A must be m×k");
+        assert_eq!(b.len(), k * n, "B must be k×n");
+        // SAFETY: shapes just checked; CPU support was established when
+        // this Kernel was handed out (see module docs).
+        unsafe { (self.gemm_acc)(c, a, b, m, n, k, alpha) }
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kernel({})", self.name)
+    }
+}
+
+static SCALAR: Kernel = Kernel { name: "scalar", gemm_acc: super::scalar::gemm_acc };
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+static AVX2: Kernel = Kernel { name: "avx2", gemm_acc: super::avx2::gemm_acc };
+
+static ACTIVE: OnceLock<&'static Kernel> = OnceLock::new();
+
+/// The process-wide active kernel: `MWP_KERNEL` override if set, else the
+/// fastest kernel this CPU supports. Resolved once, then a single atomic
+/// load per call.
+#[inline]
+pub fn active() -> &'static Kernel {
+    *ACTIVE.get_or_init(|| match std::env::var("MWP_KERNEL") {
+        // `MWP_KERNEL=` (empty) means "no override", like unset — this is
+        // what a CI matrix leg with an empty value produces.
+        Ok(name) if name.is_empty() => default_kernel(),
+        Ok(name) => by_name(&name)
+            .unwrap_or_else(|e| panic!("MWP_KERNEL: {e}")),
+        Err(_) => default_kernel(),
+    })
+}
+
+/// Look a kernel up by `MWP_KERNEL` name, verifying the CPU can run it.
+pub fn by_name(name: &str) -> Result<&'static Kernel, String> {
+    match name {
+        "scalar" => Ok(&SCALAR),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        "avx2" if avx2_supported() => Ok(&AVX2),
+        "avx2" => Err("kernel 'avx2' forced but this CPU lacks AVX2+FMA".into()),
+        other => Err(format!(
+            "unknown kernel '{other}' (valid: scalar, avx2)"
+        )),
+    }
+}
+
+/// Every kernel this CPU can run, scalar first — for benches and
+/// equivalence tests that want to exercise all of them explicitly.
+pub fn available() -> Vec<&'static Kernel> {
+    let mut out = vec![&SCALAR];
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if avx2_supported() {
+        out.push(&AVX2);
+    }
+    out
+}
+
+fn default_kernel() -> &'static Kernel {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if avx2_supported() {
+        return &AVX2;
+    }
+    &SCALAR
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+fn avx2_supported() -> bool {
+    std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert_eq!(by_name("scalar").unwrap().name(), "scalar");
+        assert_eq!(available()[0].name(), "scalar");
+    }
+
+    #[test]
+    fn unknown_kernel_is_rejected() {
+        let err = by_name("sse9").unwrap_err();
+        assert!(err.contains("unknown kernel"), "got: {err}");
+    }
+
+    #[test]
+    fn active_is_cached_and_consistent() {
+        let k1 = active();
+        let k2 = active();
+        assert!(std::ptr::eq(k1, k2), "active() must return the cached entry");
+        // Whatever was selected must be one of the runnable kernels.
+        assert!(available().iter().any(|k| std::ptr::eq(*k, k1)));
+    }
+
+    #[test]
+    fn shape_mismatch_panics() {
+        let k = by_name("scalar").unwrap();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c = vec![0.0; 4];
+            k.gemm_acc(&mut c, &[1.0; 4], &[1.0; 3], 2, 2, 2, 1.0);
+        }));
+        assert!(res.is_err(), "B of wrong length must be rejected");
+    }
+}

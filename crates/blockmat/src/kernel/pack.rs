@@ -1,0 +1,93 @@
+//! Packed B-panel layout for the register-blocked microkernel.
+//!
+//! B (`k × n`, row-major) is repacked once per block update into panels of
+//! [`NR`] consecutive columns, each panel stored k-major: panel `p` holds
+//! `alpha · B[kk][p·NR + j]` at offset `p·k·NR + kk·NR + j`. The
+//! microkernel then streams one panel linearly for every 4-row stripe of
+//! A/C — the packing cost is `O(k·n)` against `O(m·n·k)` compute, and the
+//! panel is reused across the whole i-loop.
+//!
+//! The last panel is zero-padded to full [`NR`] width, so the microkernel
+//! never needs a masked load; padded columns contribute exact zeros that
+//! the caller discards. Folding `alpha` into the pack keeps the multiply
+//! out of the FMA inner loop (and is exact for the `±1.0` used in-tree).
+//!
+//! The pack buffer is thread-local and grows to a high-water mark, so the
+//! hot loops stay allocation-free at steady state (one buffer per worker
+//! thread, reused for every block update that thread performs).
+
+use std::cell::RefCell;
+
+/// Panel width in columns: two 4-lane f64 vectors.
+pub(super) const NR: usize = 8;
+
+/// Microkernel height in rows.
+pub(super) const MR: usize = 4;
+
+thread_local! {
+    static PACK_BUF: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Total packed length for a `k × n` B: whole panels of `k · NR`.
+pub(super) fn packed_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * k * NR
+}
+
+/// Pack `alpha · b` (`k × n`, row-major) into `out` in panel-major order.
+pub(super) fn pack_b(b: &[f64], k: usize, n: usize, alpha: f64, out: &mut Vec<f64>) {
+    debug_assert_eq!(b.len(), k * n);
+    // Grow-only resize: new capacity is zero-filled once, but elements a
+    // previous pack wrote are NOT re-zeroed — the loops below overwrite
+    // every slot (live columns from B, tail padding explicitly).
+    out.resize(packed_len(k, n), 0.0);
+    for (p, j0) in (0..n).step_by(NR).enumerate() {
+        let nr = NR.min(n - j0);
+        let panel = &mut out[p * k * NR..][..k * NR];
+        for kk in 0..k {
+            let src = &b[kk * n + j0..][..nr];
+            let dst = &mut panel[kk * NR..][..NR];
+            for (d, s) in dst[..nr].iter_mut().zip(src) {
+                *d = alpha * *s;
+            }
+            for d in &mut dst[nr..] {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Run `f` with this thread's recycled pack buffer.
+pub(super) fn with_pack_buf<R>(f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
+    PACK_BUF.with(|buf| f(&mut buf.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_panels_k_major_with_zero_padding() {
+        // 2×10 B -> panels of 8: panel 0 full, panel 1 has 2 live columns.
+        let k = 2;
+        let n = 10;
+        let b: Vec<f64> = (0..k * n).map(|x| x as f64).collect();
+        let mut out = vec![f64::NAN; 64]; // dirty buffer: padding must be cleared
+        pack_b(&b, k, n, 1.0, &mut out);
+        assert_eq!(out.len(), packed_len(k, n));
+        // Panel 0, row 0 = b[0..8]; row 1 = b[10..18].
+        assert_eq!(&out[..8], &b[..8]);
+        assert_eq!(&out[8..16], &b[10..18]);
+        // Panel 1, row 0 = b[8], b[9], then six zeros.
+        assert_eq!(&out[16..24], &[8.0, 9.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        // Panel 1, row 1 = b[18], b[19], then six zeros.
+        assert_eq!(&out[24..32], &[18.0, 19.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn alpha_is_folded_into_the_pack() {
+        let b = vec![1.0, -2.0, 3.0];
+        let mut out = Vec::new();
+        pack_b(&b, 1, 3, -1.0, &mut out);
+        assert_eq!(&out[..3], &[-1.0, 2.0, -3.0]);
+    }
+}

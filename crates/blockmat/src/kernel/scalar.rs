@@ -1,0 +1,75 @@
+//! The portable scalar kernel: a cache-tiled, k-unrolled loop nest.
+//!
+//! This is the pre-dispatch `Block::gemm_acc` generalized to rectangular
+//! shapes and an `alpha` factor. For the square `alpha = 1` case it is
+//! bit-identical to the historical kernel (multiplying by `1.0` is exact,
+//! and the tiling, 4-wide k unroll, and per-`j` accumulation order are
+//! unchanged) — frozen by `kernel::tests::scalar_kernel_is_bit_identical_
+//! to_historical_gemm_acc`.
+
+/// Tile side for the cache-blocked loop nest. 32×32 f64 tiles (3 × 8 KiB
+/// working set) stay comfortably within L1 on all mainstream CPUs.
+const TILE: usize = 32;
+
+/// `C (m×n) += alpha · A (m×k) · B (k×n)`, row-major contiguous.
+///
+/// Each pass streams four `b` rows against one `c` row, so the `c` row is
+/// loaded and stored once per four rank-1 updates instead of once per
+/// update; there is no data-dependent branch in the inner loop to block
+/// autovectorization. `alpha` scales the `a` elements as they are loaded
+/// (exact for `±1.0`, the only values used in-tree).
+pub(super) fn gemm_acc(
+    cv: &mut [f64],
+    av: &[f64],
+    bv: &[f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+) {
+    debug_assert_eq!(cv.len(), m * n);
+    debug_assert_eq!(av.len(), m * k);
+    debug_assert_eq!(bv.len(), k * n);
+    let mut ii = 0;
+    while ii < m {
+        let i_end = (ii + TILE).min(m);
+        let mut kk = 0;
+        while kk < k {
+            let k_end = (kk + TILE).min(k);
+            for i in ii..i_end {
+                let arow = &av[i * k..][..k];
+                let crow = &mut cv[i * n..][..n];
+                let mut kx = kk;
+                while kx + 4 <= k_end {
+                    let a0 = alpha * arow[kx];
+                    let a1 = alpha * arow[kx + 1];
+                    let a2 = alpha * arow[kx + 2];
+                    let a3 = alpha * arow[kx + 3];
+                    let b0 = &bv[kx * n..][..n];
+                    let b1 = &bv[(kx + 1) * n..][..n];
+                    let b2 = &bv[(kx + 2) * n..][..n];
+                    let b3 = &bv[(kx + 3) * n..][..n];
+                    for j in 0..n {
+                        let mut s = crow[j];
+                        s += a0 * b0[j];
+                        s += a1 * b1[j];
+                        s += a2 * b2[j];
+                        s += a3 * b3[j];
+                        crow[j] = s;
+                    }
+                    kx += 4;
+                }
+                while kx < k_end {
+                    let aik = alpha * arow[kx];
+                    let brow = &bv[kx * n..][..n];
+                    for (cj, bj) in crow.iter_mut().zip(brow.iter()) {
+                        *cj += aik * *bj;
+                    }
+                    kx += 1;
+                }
+            }
+            kk = k_end;
+        }
+        ii = i_end;
+    }
+}

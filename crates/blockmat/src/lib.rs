@@ -6,7 +6,10 @@
 //! routines", Section 2.1). This crate is the numerical substrate:
 //!
 //! * [`Block`] — one `q × q` block of `f64` coefficients stored contiguously
-//!   row-major, with a cache-tiled `gemm_acc` micro-kernel,
+//!   row-major, whose `gemm_acc` runs the dispatched [`kernel`],
+//! * [`kernel`] — the block-update kernel family: a register-blocked
+//!   AVX2/FMA microkernel and the portable cache-tiled scalar loop behind
+//!   a `OnceLock`-cached runtime dispatch (`MWP_KERNEL` to force one),
 //! * [`BlockMatrix`] — an `rows × cols` grid of blocks (the master's view of
 //!   `A`, `B`, and `C`),
 //! * [`Partition`] — the `(r, s, t)` stripe decomposition from matrix
@@ -24,6 +27,7 @@
 pub mod block;
 pub mod fill;
 pub mod gemm;
+pub mod kernel;
 pub mod lu;
 pub mod matrix;
 pub mod norms;

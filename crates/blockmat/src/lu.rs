@@ -14,6 +14,7 @@
 //! minors — e.g. diagonally dominant matrices, which
 //! [`crate::fill::random_diagonally_dominant`] generates.
 
+use crate::kernel::{self, Kernel};
 use crate::matrix::BlockMatrix;
 
 /// Minimal dense row-major matrix used by the LU kernels.
@@ -89,32 +90,26 @@ impl Dense {
         m
     }
 
-    /// `self ← self − a · b` (rank-k update with k = a.cols).
+    /// `self ← self − a · b` (rank-k update with k = a.cols) through the
+    /// dispatched block kernel — this is the LU runtime's core panel
+    /// update, `alpha = −1` in the kernel contract.
     pub fn sub_mul(&mut self, a: &Dense, b: &Dense) {
+        self.sub_mul_with(kernel::active(), a, b);
+    }
+
+    /// [`Dense::sub_mul`] through an explicitly chosen kernel — the form
+    /// for loops that resolve the dispatch once (e.g. the LU worker).
+    pub fn sub_mul_with(&mut self, kernel: &Kernel, a: &Dense, b: &Dense) {
         assert_eq!(a.cols, b.rows, "inner dimensions");
         assert_eq!(self.rows, a.rows, "row dimensions");
         assert_eq!(self.cols, b.cols, "col dimensions");
-        for i in 0..self.rows {
-            for k in 0..a.cols {
-                let aik = a[(i, k)];
-                if aik == 0.0 {
-                    continue;
-                }
-                for j in 0..self.cols {
-                    self.data[i * self.cols + j] -= aik * b[(k, j)];
-                }
-            }
-        }
+        kernel.gemm_acc(&mut self.data, &a.data, &b.data, a.rows, b.cols, a.cols, -1.0);
     }
 
-    /// Plain product `a · b`.
+    /// Plain product `a · b` through the dispatched kernel.
     pub fn mul(a: &Dense, b: &Dense) -> Dense {
         let mut c = Dense::zeros(a.rows, b.cols);
-        let mut neg_a = a.clone();
-        for v in &mut neg_a.data {
-            *v = -*v;
-        }
-        c.sub_mul(&neg_a, b);
+        kernel::active().gemm_acc(&mut c.data, &a.data, &b.data, a.rows, b.cols, a.cols, 1.0);
         c
     }
 

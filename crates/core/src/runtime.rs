@@ -470,6 +470,9 @@ fn recv_c_rows(
 /// one reused scratch, and result payloads are built in the endpoint's
 /// buffer pool.
 fn worker_main(ep: WorkerEndpoint, q: usize, memory_cap: usize) {
+    // The block-update kernel, resolved once per worker thread — block
+    // updates in the loop below never touch the dispatch table again.
+    let kernel = mwp_blockmat::kernel::active();
     // Resident C chunk, indexed by block row: c_rows[i] = [(j, block)].
     let mut c_rows: HashMap<usize, Vec<(usize, Block)>> = HashMap::new();
     let mut c_count = 0usize;
@@ -522,7 +525,7 @@ fn worker_main(ep: WorkerEndpoint, q: usize, memory_cap: usize) {
                         let b_block = b_row
                             .get(cj)
                             .expect("B row must arrive before the A column (FIFO)");
-                        c_block.gemm_acc(&a_scratch, b_block);
+                        c_block.gemm_acc_with(kernel, &a_scratch, b_block);
                     }
                 }
             }

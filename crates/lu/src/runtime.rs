@@ -163,6 +163,9 @@ pub fn run_lu(
 /// pool — the worker allocates nothing per message at steady state beyond
 /// the decoded task matrices themselves.
 fn lu_worker_main(ep: WorkerEndpoint) {
+    // Resolve the block-update kernel once per worker thread; every
+    // OP_CORE rank-µ update below reuses it without touching dispatch.
+    let kernel = mwp_blockmat::kernel::active();
     let mut vert: Option<Dense> = None;
     loop {
         let frame = match ep.recv() {
@@ -205,7 +208,7 @@ fn lu_worker_main(ep: WorkerEndpoint) {
                 let vert = vert
                     .as_ref()
                     .expect("OP_SET_VERT must precede OP_CORE (FIFO order)");
-                core_g.sub_mul(vert, &horiz_g);
+                core_g.sub_mul_with(kernel, vert, &horiz_g);
                 core_g
             }
             op => unreachable!("unknown LU op {op}"),
