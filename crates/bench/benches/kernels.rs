@@ -6,6 +6,7 @@ use mwp_blockmat::fill::{random_block, random_matrix};
 use mwp_blockmat::gemm::{gemm_parallel, gemm_serial};
 use mwp_blockmat::Block;
 use mwp_core::runtime::run_holm;
+use mwp_core::session::RuntimeSession;
 use mwp_platform::Platform;
 use std::hint::black_box;
 
@@ -73,6 +74,18 @@ fn bench_runtime(c: &mut Criterion) {
     g.bench_function("holm_6x6x8_q20", |bch| {
         bch.iter(|| {
             run_holm(black_box(&pf), &a, &b, c0.clone(), 0.0)
+                .expect("runtime succeeds")
+                .blocks_moved
+        })
+    });
+    // One persistent session across the whole sweep: each iteration is a
+    // RUN_BEGIN/RUN_END-delimited run on already-parked workers, so the
+    // delta against `holm_6x6x8_q20` is the per-call spawn/join cost.
+    let session = RuntimeSession::new(&pf, 0.0);
+    g.bench_function("holm_session_6x6x8_q20", |bch| {
+        bch.iter(|| {
+            session
+                .run_holm(black_box(&a), &b, c0.clone())
                 .expect("runtime succeeds")
                 .blocks_moved
         })

@@ -8,13 +8,54 @@
 //! `benches/kernels.rs` criterion benches so the two report the same
 //! hot paths.
 
-use mwp_blockmat::fill::{random_block, random_matrix};
+use mwp_blockmat::fill::{random_block, random_diagonally_dominant, random_matrix};
 use mwp_blockmat::gemm::{gemm_parallel, gemm_serial};
 use mwp_blockmat::Block;
-use mwp_core::runtime::run_holm;
+use mwp_core::session::RuntimeSession;
+use mwp_lu::runtime::LuSession;
 use mwp_platform::Platform;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// Fresh-spawn ↔ pooled-session workload pairs: same parameters, the only
+/// difference being whether the worker pool is spawned per call or once
+/// per sweep. The ratio `fresh / pooled` is the measured
+/// spawn-amortization win tracked by `bench_baseline`.
+pub const SESSION_PAIRS: &[(&str, &str)] = &[
+    ("run_holm/6x6x8_q20", "session_reuse/run_holm_6x6x8_q20"),
+    ("run_lu/4x8_mu2", "session_reuse/run_lu_4x8_mu2"),
+];
+
+/// One fresh-vs-pooled comparison extracted from a measurement set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpeedup {
+    /// The fresh-spawn workload name.
+    pub fresh_name: &'static str,
+    /// Fresh-spawn ns/iter.
+    pub fresh_ns: f64,
+    /// Pooled-session ns/iter.
+    pub pooled_ns: f64,
+    /// `fresh_ns / pooled_ns` — the spawn-amortization ratio.
+    pub ratio: f64,
+}
+
+/// The spawn-amortization ratios measurable inside one measurement set
+/// (both halves of a [`SESSION_PAIRS`] entry present).
+pub fn session_speedups(measurements: &[Measurement]) -> Vec<SessionSpeedup> {
+    SESSION_PAIRS
+        .iter()
+        .filter_map(|&(fresh, pooled)| {
+            let f = measurements.iter().find(|m| m.name == fresh)?;
+            let p = measurements.iter().find(|m| m.name == pooled)?;
+            Some(SessionSpeedup {
+                fresh_name: fresh,
+                fresh_ns: f.ns_per_iter,
+                pooled_ns: p.ns_per_iter,
+                ratio: f.ns_per_iter / p.ns_per_iter,
+            })
+        })
+        .collect()
+}
 
 /// One measured workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,12 +156,55 @@ pub fn measure_all() -> Vec<Measurement> {
         let a = random_matrix(6, 6, q, 10);
         let b = random_matrix(6, 8, q, 11);
         let c0 = random_matrix(6, 8, q, 12);
+        // Explicitly fresh-spawn (one throwaway session per iteration,
+        // the FreshSpawn mode's exact code path) rather than the
+        // mode-switching `run_holm` wrapper, so the fresh half of the
+        // pair — and the baseline JSON — stays meaningful even when the
+        // process runs under `MWP_RUNTIME=session` (the CI pooled leg).
         let ns = time_workload(|| {
-            run_holm(black_box(&pf), &a, &b, c0.clone(), 0.0)
+            let session = RuntimeSession::new(black_box(&pf), 0.0);
+            let moved = session
+                .run_holm(&a, &b, c0.clone())
+                .expect("runtime succeeds")
+                .blocks_moved;
+            session.shutdown();
+            moved
+        });
+        out.push(Measurement::timed("run_holm/6x6x8_q20", ns));
+
+        // The same workload on a persistent session: the worker pool is
+        // spawned once, outside the timed loop, so each iteration pays
+        // only RUN_BEGIN/RUN_END control frames — the fresh/pooled ratio
+        // is the spawn-amortization win (see `SESSION_PAIRS`).
+        let session = RuntimeSession::new(&pf, 0.0);
+        let ns = time_workload(|| {
+            session
+                .run_holm(black_box(&a), &b, c0.clone())
                 .expect("runtime succeeds")
                 .blocks_moved
         });
-        out.push(Measurement::timed("run_holm/6x6x8_q20", ns));
+        out.push(Measurement::timed("session_reuse/run_holm_6x6x8_q20", ns));
+        session.shutdown();
+    }
+
+    // Repeated threaded LU, fresh-spawn vs pooled session (32 × 32 in
+    // 8-block panels of width 2, three workers). Fresh half is an
+    // explicit throwaway session per iteration, as above.
+    {
+        let pf = Platform::homogeneous(3, 1.0, 1.0, 1000).expect("valid platform");
+        let m = random_diagonally_dominant(4, 8, 7);
+        let ns = time_workload(|| {
+            let session = LuSession::new(black_box(&pf), 0.0);
+            let messages = session.run(&m, 2).messages;
+            session.shutdown();
+            messages
+        });
+        out.push(Measurement::timed("run_lu/4x8_mu2", ns));
+
+        let session = LuSession::new(&pf, 0.0);
+        let ns = time_workload(|| session.run(black_box(&m), 2).messages);
+        out.push(Measurement::timed("session_reuse/run_lu_4x8_mu2", ns));
+        session.shutdown();
     }
 
     out
@@ -200,5 +284,19 @@ mod tests {
     fn timing_returns_positive() {
         let ns = time_workload(|| std::hint::black_box(1 + 1));
         assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn session_speedups_pair_fresh_with_pooled() {
+        let ms = vec![
+            Measurement::timed("run_holm/6x6x8_q20", 1000.0),
+            Measurement::timed("session_reuse/run_holm_6x6x8_q20", 250.0),
+            Measurement::timed("run_lu/4x8_mu2", 80.0),
+            // pooled LU half missing: that pair must be skipped
+        ];
+        let sp = session_speedups(&ms);
+        assert_eq!(sp.len(), 1);
+        assert_eq!(sp[0].fresh_name, "run_holm/6x6x8_q20");
+        assert_eq!(sp[0].ratio, 4.0);
     }
 }

@@ -17,7 +17,18 @@
 //! Measurements run whatever kernel the dispatcher selects; force a
 //! specific one with `MWP_KERNEL=scalar|avx2` to compare code paths.
 
-use mwp_bench::baseline::{from_json, measure_all, to_json};
+use mwp_bench::baseline::{from_json, measure_all, session_speedups, to_json, Measurement};
+
+/// Print the fresh-spawn vs pooled-session amortization ratios measurable
+/// in this run (both halves measured on the same build, same machine).
+fn print_session_speedups(measurements: &[Measurement]) {
+    for sp in session_speedups(measurements) {
+        println!(
+            "session reuse vs fresh spawn ({}): {:.0} -> {:.0} ns/iter ({:.2}x)",
+            sp.fresh_name, sp.fresh_ns, sp.pooled_ns, sp.ratio
+        );
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +62,7 @@ fn main() {
                     None => println!("{:<28} {:>14.1} ns/iter", m.name, m.ns_per_iter),
                 }
             }
+            print_session_speedups(&ms);
             let doc = to_json(&ms, "pre-optimization baseline");
             std::fs::write(path, doc).expect("write baseline file");
             println!("baseline written to {path}");
@@ -91,6 +103,7 @@ fn main() {
                     println!("{:<28} {:>14.1} {:>14} (no longer measured)", b.name, b.ns_per_iter, "-");
                 }
             }
+            print_session_speedups(&current);
             println!("worst speedup vs baseline: {worst:.2}x ({compared} workloads compared)");
             if let Some(floor) = min_speedup {
                 if compared == 0 {

@@ -47,6 +47,7 @@ pub mod chunks;
 pub mod layout;
 pub mod runtime;
 pub mod selection;
+pub mod session;
 pub mod toy;
 
 pub use layout::{MemoryLayout, MemoryPlan};

@@ -13,16 +13,27 @@
 //! against the serial product). A positive `time_scale` paces every link
 //! at `c_i` model-seconds per block so wall-clock measurements reflect the
 //! platform calibration.
+//!
+//! Worker threads live in a persistent [`RuntimeSession`]
+//! (`crate::session`): they are spawned once per platform description and
+//! serve an unbounded sequence of runs, parking on a blocking receive
+//! between runs. The free functions here ([`run_holm`], [`run_heterogeneous`],
+//! …) keep their historical one-shot signatures — they spawn a session,
+//! run once, and shut it down — unless `MWP_RUNTIME=session` routes them
+//! through the process-wide session pool. Repeated-run workloads (benches,
+//! parameter sweeps) should hold a [`RuntimeSession`] directly and call
+//! its methods, amortizing all spawn/join cost.
 
 use crate::chunks::{self, Chunk};
 use crate::selection::homogeneous::select_homogeneous;
+use crate::session::{with_session, RuntimeSession};
 use bytes::Bytes;
 use mwp_blockmat::{Block, BlockMatrix, SharedPayloads};
-use mwp_msg::{Frame, FrameKind, StarNetwork, Tag, WorkerEndpoint};
+use mwp_msg::session::{RunExit, RUN_BEGIN, RUN_END};
+use mwp_msg::{Frame, FrameKind, Tag, WorkerEndpoint};
 use mwp_platform::{Platform, WorkerId};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::thread;
 use std::time::Instant;
 
 /// Outcome of a runtime execution.
@@ -72,6 +83,10 @@ impl std::error::Error for RuntimeError {}
 
 /// Execute `C ← C + A·B` with the paper's homogeneous algorithm (HoLM:
 /// resource selection + round-robin chunk distribution).
+///
+/// One-shot wrapper over [`RuntimeSession::run_holm`]: spawns a session,
+/// runs once, shuts it down — or reuses the process-wide pooled session
+/// when `MWP_RUNTIME=session`.
 pub fn run_holm(
     platform: &Platform,
     a: &BlockMatrix,
@@ -79,7 +94,10 @@ pub fn run_holm(
     c: BlockMatrix,
     time_scale: f64,
 ) -> Result<RunOutcome, RuntimeError> {
-    run_inner(platform, a, b, c, time_scale, true)
+    // Pre-flight: a rejected call must cost an error return, not a
+    // worker-pool spawn + join.
+    plan_holm(platform, a, b, &c, true)?;
+    with_session(platform, time_scale, |session| holm_on(session, a, b, c, true))
 }
 
 /// Same, but enrolling every worker (the ORROML variant) — useful to
@@ -91,51 +109,64 @@ pub fn run_all_workers(
     c: BlockMatrix,
     time_scale: f64,
 ) -> Result<RunOutcome, RuntimeError> {
-    run_inner(platform, a, b, c, time_scale, false)
+    plan_holm(platform, a, b, &c, false)?;
+    with_session(platform, time_scale, |session| holm_on(session, a, b, c, false))
 }
 
-fn run_inner(
+/// The pure pre-flight of a HoLM/ORROML run — validation + resource
+/// selection, no side effects. Returns `(enrolled, µ)`. Called by the
+/// one-shot wrappers **before** any session exists and again by
+/// [`holm_on`] for the actual run parameters.
+fn plan_holm(
     platform: &Platform,
     a: &BlockMatrix,
     b: &BlockMatrix,
-    mut c: BlockMatrix,
-    time_scale: f64,
+    c: &BlockMatrix,
     select: bool,
-) -> Result<RunOutcome, RuntimeError> {
+) -> Result<(usize, usize), RuntimeError> {
     let params = platform
         .homogeneous_params()
         .ok_or(RuntimeError::HeterogeneousPlatform)?;
     if a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols() || a.q() != b.q() {
         return Err(RuntimeError::ShapeMismatch);
     }
-    let q = a.q();
-    let (r, t, s) = (a.rows(), a.cols(), b.cols());
-
-    let sel = select_homogeneous(&params, platform.len(), r, s);
+    let (r, s) = (a.rows(), b.cols());
     let (enrolled, mu) = if select {
+        let sel = select_homogeneous(&params, platform.len(), r, s);
         (sel.workers, sel.chunk_side)
     } else {
         let mu = crate::layout::MemoryLayout::MaxReuseOverlapped.mu(params.m);
-        if mu == 0 {
-            return Err(RuntimeError::MemoryTooSmall { m: params.m });
-        }
         (platform.len(), mu)
     };
     if mu == 0 {
         return Err(RuntimeError::MemoryTooSmall { m: params.m });
     }
+    Ok((enrolled, mu))
+}
 
-    // Wire the star and spawn Algorithm 2 on each enrolled worker.
-    let (master, workers) = StarNetwork::build(platform, time_scale).into_endpoints();
-    let memory_cap = params.m;
-    let handles: Vec<_> = workers
-        .into_iter()
-        .take(enrolled)
-        .map(|ep| {
-            thread::spawn(move || worker_main(ep, q, memory_cap))
-        })
-        .collect();
-    // Unenrolled workers' endpoints dropped: their channels just close.
+/// Algorithm 1 (the master side of HoLM / ORROML), executed as one run of
+/// `session`'s persistent worker pool.
+pub(crate) fn holm_on(
+    session: &RuntimeSession,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    mut c: BlockMatrix,
+    select: bool,
+) -> Result<RunOutcome, RuntimeError> {
+    let platform = session.platform();
+    let (enrolled, mu) = plan_holm(platform, a, b, &c, select)?;
+    let q = a.q();
+    let (r, t, s) = (a.rows(), a.cols(), b.cols());
+
+    // Wake workers 0..enrolled from their parked receives; the rest of
+    // the pool stays blocked and costs nothing beyond their spawn (a
+    // deliberate trade-off for the one-shot fresh-spawn path, which now
+    // spawns the whole platform rather than `enrolled` threads: the
+    // single shared code path is what makes fresh and pooled runs
+    // bit-identical, and an unenrolled parked thread costs a few µs of
+    // spawn+join — callers who care run on a session directly).
+    let epoch = session.begin_run(enrolled, q as u32);
+    let master = session.master();
 
     let start = Instant::now();
     // Serialize the immutable inputs once; every send below is a refcount
@@ -191,15 +222,9 @@ fn run_inner(
         }
     }
 
-    // Orderly shutdown.
-    for idx in 0..enrolled {
-        master.send(WorkerId(idx), Frame::shutdown(), 0);
-    }
-    for h in handles {
-        h.join().expect("worker thread panicked");
-    }
+    // Close the run: every enrolled worker parks again for the next one.
+    let blocks_moved = session.finish_run(enrolled, epoch);
     let wall = start.elapsed();
-    let blocks_moved = master.total_blocks();
 
     Ok(RunOutcome { c, wall, blocks_moved, workers_used: enrolled, chunk_side: mu })
 }
@@ -214,18 +239,27 @@ pub fn run_heterogeneous(
     platform: &Platform,
     a: &BlockMatrix,
     b: &BlockMatrix,
-    mut c: BlockMatrix,
+    c: BlockMatrix,
     rule: crate::selection::incremental::SelectionRule,
     time_scale: f64,
 ) -> Result<RunOutcome, RuntimeError> {
+    plan_heterogeneous(platform, a, b, &c)?;
+    with_session(platform, time_scale, |session| heterogeneous_on(session, a, b, c, rule))
+}
+
+/// The pure pre-flight of a heterogeneous run: validation + per-worker
+/// chunk sides `µ_i`. Same contract as [`plan_holm`].
+fn plan_heterogeneous(
+    platform: &Platform,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    c: &BlockMatrix,
+) -> Result<Vec<usize>, RuntimeError> {
     use crate::layout::MemoryLayout;
-    use crate::selection::incremental::run_selection_with_mu;
 
     if a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols() || a.q() != b.q() {
         return Err(RuntimeError::ShapeMismatch);
     }
-    let q = a.q();
-    let (r, t, s) = (a.rows(), a.cols(), b.cols());
     let mu: Vec<usize> = platform
         .workers()
         .iter()
@@ -236,6 +270,24 @@ pub fn run_heterogeneous(
             m: platform.workers().iter().map(|w| w.m).min().unwrap_or(0),
         });
     }
+    Ok(mu)
+}
+
+/// The heterogeneous two-phase master, executed as one run of `session`'s
+/// persistent worker pool (every pooled worker is enrolled).
+pub(crate) fn heterogeneous_on(
+    session: &RuntimeSession,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    mut c: BlockMatrix,
+    rule: crate::selection::incremental::SelectionRule,
+) -> Result<RunOutcome, RuntimeError> {
+    use crate::selection::incremental::run_selection_with_mu;
+
+    let platform = session.platform();
+    let mu = plan_heterogeneous(platform, a, b, &c)?;
+    let q = a.q();
+    let (r, t, s) = (a.rows(), a.cols(), b.cols());
 
     // Phase 1: the selection order (one entry = one k-step for that
     // worker's current chunk).
@@ -243,15 +295,9 @@ pub fn run_heterogeneous(
 
     // Phase 2: replay with real blocks. Chunks are cut greedily from the
     // C grid in column-band order, clamped to each worker's µ_i.
-    let (master, workers) = StarNetwork::build(platform, time_scale).into_endpoints();
-    let handles: Vec<_> = platform
-        .iter()
-        .zip(workers)
-        .map(|((_, params), ep)| {
-            let cap = params.m;
-            thread::spawn(move || worker_main(ep, q, cap))
-        })
-        .collect();
+    let enrolled = platform.len();
+    let epoch = session.begin_run(enrolled, q as u32);
+    let master = session.master();
 
     let start = Instant::now();
     // Shared payload caches for the immutable inputs (see `run_inner`):
@@ -393,17 +439,12 @@ pub fn run_heterogeneous(
         served.insert(wi);
     }
 
-    for id in platform.ids() {
-        master.send(id, Frame::shutdown(), 0);
-    }
-    for h in handles {
-        h.join().expect("worker thread panicked");
-    }
+    let blocks_moved = session.finish_run(enrolled, epoch);
 
     Ok(RunOutcome {
         c,
         wall: start.elapsed(),
-        blocks_moved: master.total_blocks(),
+        blocks_moved,
         workers_used: served.len(),
         chunk_side: mu.iter().copied().max().unwrap_or(0),
     })
@@ -455,37 +496,83 @@ fn recv_c_rows(
     }
 }
 
-/// Algorithm 2: the worker program.
+/// Per-worker state that survives across a session's runs: recycled block
+/// storage and the chunk/row maps, so a pooled worker serving its second
+/// run re-allocates nothing (as long as the block side is unchanged — a
+/// run with a different `q` resets the scratch in place).
+pub(crate) struct WorkerState {
+    /// Block side the scratch storage is sized for (0 = not yet sized).
+    q: usize,
+    /// Resident C chunk, indexed by block row: c_rows[i] = [(j, block)].
+    c_rows: HashMap<usize, Vec<(usize, Block)>>,
+    /// The current B row, indexed by block column.
+    b_row: HashMap<usize, Block>,
+    /// Recycled block storage (scratch, not resident data).
+    spare: Vec<Block>,
+    /// The single in-flight A block.
+    a_scratch: Block,
+}
+
+impl WorkerState {
+    pub(crate) fn new() -> Self {
+        WorkerState {
+            q: 0,
+            c_rows: HashMap::new(),
+            b_row: HashMap::new(),
+            spare: Vec::new(),
+            // Placeholder until the first run declares its block side.
+            a_scratch: Block::zeros(1),
+        }
+    }
+
+    /// Prepare for a run with block side `q`: keep the warmed-up scratch
+    /// when the side matches, rebuild it in place when it does not. The
+    /// chunk/row maps are drained by the end-of-run protocol, but a
+    /// defensive clear keeps an aborted run from leaking into the next.
+    fn reset_for(&mut self, q: usize) {
+        if self.q != q {
+            self.q = q;
+            self.spare.clear();
+            self.a_scratch = Block::zeros(q);
+        }
+        self.c_rows.clear();
+        self.b_row.clear();
+    }
+}
+
+/// Algorithm 2: the worker program, serving **one run** of a session.
 ///
 /// Holds the resident C chunk (indexed by block row, so an incoming `A`
 /// block touches exactly its row instead of scanning the whole chunk), the
 /// current `B` row, and applies each incoming `A` block to every column of
-/// the chunk. `Control` requests the chunk back; `Shutdown` ends the
-/// thread. Asserts the memory invariant (`resident blocks ≤ m`) the
-/// paper's layout guarantees.
+/// the chunk. `Control` requests the chunk back; the `RUN_END` control
+/// sentinel parks the worker for the session's next run; `Shutdown` (or a
+/// dropped master) ends the thread. Asserts the memory invariant
+/// (`resident blocks ≤ m`) the paper's layout guarantees.
 ///
 /// The receive path is allocation-free at steady state: incoming payloads
-/// are copied into recycled scratch blocks (`spare` holds blocks from
-/// returned chunks and retired `B` rows), the in-flight `A` block lives in
-/// one reused scratch, and result payloads are built in the endpoint's
-/// buffer pool.
-fn worker_main(ep: WorkerEndpoint, q: usize, memory_cap: usize) {
-    // The block-update kernel, resolved once per worker thread — block
-    // updates in the loop below never touch the dispatch table again.
+/// are copied into recycled scratch blocks (`state.spare` holds blocks
+/// from returned chunks and retired `B` rows, surviving across runs), the
+/// in-flight `A` block lives in one reused scratch, and result payloads
+/// are built in the endpoint's buffer pool.
+pub(crate) fn serve_run(
+    ep: &WorkerEndpoint,
+    q: usize,
+    memory_cap: usize,
+    state: &mut WorkerState,
+) -> RunExit {
+    // The block-update kernel, resolved per run from the cached dispatch
+    // table — block updates in the loop below never touch dispatch again.
     let kernel = mwp_blockmat::kernel::active();
-    // Resident C chunk, indexed by block row: c_rows[i] = [(j, block)].
-    let mut c_rows: HashMap<usize, Vec<(usize, Block)>> = HashMap::new();
+    state.reset_for(q);
+    let WorkerState { c_rows, b_row, spare, a_scratch, .. } = state;
     let mut c_count = 0usize;
-    let mut b_row: HashMap<usize, Block> = HashMap::new();
-    // Recycled block storage (scratch, not resident data).
-    let mut spare: Vec<Block> = Vec::new();
-    let mut a_scratch = Block::zeros(q);
+    let bb = q * q * 8;
     loop {
         let frame = match ep.recv() {
             Ok(f) => f,
-            Err(_) => return, // master gone
+            Err(_) => return RunExit::Terminate, // master gone
         };
-        let bb = q * q * 8;
         match frame.tag.kind {
             FrameKind::BlockC => {
                 // A run of chunk-row blocks: row i, columns j0, j0+1, …
@@ -525,9 +612,23 @@ fn worker_main(ep: WorkerEndpoint, q: usize, memory_cap: usize) {
                         let b_block = b_row
                             .get(cj)
                             .expect("B row must arrive before the A column (FIFO)");
-                        c_block.gemm_acc_with(kernel, &a_scratch, b_block);
+                        c_block.gemm_acc_with(kernel, a_scratch, b_block);
                     }
                 }
+            }
+            FrameKind::Control if frame.tag.i == RUN_END => {
+                // End of this run: park for the session's next one, scratch
+                // storage intact.
+                return RunExit::Completed;
+            }
+            FrameKind::Control if frame.tag.i == RUN_BEGIN => {
+                // A new run opened while this one never ended: the master
+                // aborted mid-run (panicked between begin and finish) and
+                // the session was reused anyway. Fail loudly — the resident
+                // state is stale and the result would be silently wrong.
+                // (The `MWP_RUNTIME=session` pool poisons-and-respawns on
+                // such panics; this guards directly-held sessions.)
+                panic!("RUN_BEGIN inside a run: session reused after an aborted run");
             }
             FrameKind::Control => {
                 // Return the chunk in deterministic (i, j) order — one run
@@ -551,7 +652,7 @@ fn worker_main(ep: WorkerEndpoint, q: usize, memory_cap: usize) {
                 }
                 spare.extend(b_row.drain().map(|(_, blk)| blk));
             }
-            FrameKind::Shutdown => return,
+            FrameKind::Shutdown => return RunExit::Terminate,
             FrameKind::CResult | FrameKind::LuPanel => {
                 unreachable!("master never sends {:?}", frame.tag.kind)
             }

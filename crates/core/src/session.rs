@@ -1,0 +1,207 @@
+//! Persistent matrix-product sessions: the worker pool behind the
+//! threaded runtime.
+//!
+//! A [`RuntimeSession`] spawns the star's worker threads **once** for a
+//! platform description and then serves any number of HoLM / ORROML /
+//! heterogeneous runs, each delimited by the message layer's
+//! `RUN_BEGIN`/`RUN_END` frames (see [`mwp_msg::session`]). Worker state
+//! — recycled scratch blocks, chunk storage, payload buffer pools —
+//! resets in place between runs, so a repeated-run workload pays the
+//! thread spawn/join and allocation warm-up cost exactly once:
+//!
+//! ```
+//! use mwp_core::session::RuntimeSession;
+//! use mwp_blockmat::fill::random_matrix;
+//! use mwp_platform::Platform;
+//!
+//! let platform = Platform::homogeneous(4, 4.0, 1.0, 60).unwrap();
+//! let session = RuntimeSession::new(&platform, 0.0);
+//! for round in 0..3 {
+//!     let a = random_matrix(5, 7, 8, round);
+//!     let b = random_matrix(7, 9, 8, round + 100);
+//!     let c0 = random_matrix(5, 9, 8, round + 200);
+//!     let out = session.run_holm(&a, &b, c0).unwrap();
+//!     assert!(out.blocks_moved > 0);
+//! }
+//! assert_eq!(session.shutdown(), 4); // all worker threads join cleanly
+//! ```
+//!
+//! The one-shot entry points ([`crate::runtime::run_holm`], …) are thin
+//! wrappers: by default each call spawns a session and shuts it down;
+//! with `MWP_RUNTIME=session` they reuse one pooled session per platform
+//! fingerprint for the whole process. Results are bit-identical either
+//! way — both paths execute the same master and worker code.
+
+use crate::runtime::{heterogeneous_on, holm_on, serve_run, RunOutcome, RuntimeError, WorkerState};
+use crate::selection::incremental::SelectionRule;
+use mwp_blockmat::BlockMatrix;
+use mwp_msg::session::{run_with_mode, RunEpoch, Session, SessionPool};
+use mwp_msg::{MasterEndpoint, WorkerEndpoint};
+use mwp_platform::Platform;
+
+/// A persistent worker pool serving the paper's matrix-product runtimes.
+pub struct RuntimeSession {
+    inner: Session,
+    platform: Platform,
+}
+
+impl RuntimeSession {
+    /// Spawn the pool: one parked worker thread per platform worker, each
+    /// holding its scratch state (and its endpoint's payload buffer pool)
+    /// across runs. `time_scale` paces the links (0 = off), exactly as in
+    /// the one-shot entry points.
+    pub fn new(platform: &Platform, time_scale: f64) -> Self {
+        let inner = Session::spawn(platform, time_scale, |_, params| {
+            let memory_cap = params.m;
+            let mut state = WorkerState::new();
+            move |q: u32, ep: &WorkerEndpoint| serve_run(ep, q as usize, memory_cap, &mut state)
+        });
+        RuntimeSession { inner, platform: platform.clone() }
+    }
+
+    /// The platform this session's links and memory caps were built for.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Number of pooled workers.
+    pub fn workers(&self) -> usize {
+        self.inner.workers()
+    }
+
+    /// `C ← C + A·B` with HoLM (resource selection + round-robin chunk
+    /// distribution) on the pooled workers.
+    pub fn run_holm(
+        &self,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        c: BlockMatrix,
+    ) -> Result<RunOutcome, RuntimeError> {
+        holm_on(self, a, b, c, true)
+    }
+
+    /// `C ← C + A·B` enrolling every pooled worker (the ORROML variant).
+    pub fn run_all_workers(
+        &self,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        c: BlockMatrix,
+    ) -> Result<RunOutcome, RuntimeError> {
+        holm_on(self, a, b, c, false)
+    }
+
+    /// `C ← C + A·B` with the heterogeneous two-phase scheme of
+    /// Section 6.2 on the pooled workers.
+    pub fn run_heterogeneous(
+        &self,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        c: BlockMatrix,
+        rule: SelectionRule,
+    ) -> Result<RunOutcome, RuntimeError> {
+        heterogeneous_on(self, a, b, c, rule)
+    }
+
+    /// Orderly shutdown: wakes every parked worker with a shutdown frame
+    /// and joins its thread. Returns the number of workers joined.
+    /// Dropping the session without calling this does the same, silently.
+    pub fn shutdown(self) -> usize {
+        self.inner.shutdown()
+    }
+
+    pub(crate) fn master(&self) -> &MasterEndpoint {
+        self.inner.master()
+    }
+
+    pub(crate) fn begin_run(&self, enrolled: usize, q: u32) -> RunEpoch<'_> {
+        self.inner.begin_run(enrolled, q)
+    }
+
+    pub(crate) fn finish_run(&self, enrolled: usize, epoch: RunEpoch<'_>) -> u64 {
+        self.inner.finish_run(enrolled, epoch)
+    }
+}
+
+/// Process-wide session cache for the `MWP_RUNTIME=session` mode.
+static POOL: SessionPool<RuntimeSession> = SessionPool::new();
+
+/// Run `f` against a session for `platform`: a fresh throwaway session by
+/// default, the shared pooled one under `MWP_RUNTIME=session`. Pooled
+/// sessions serialize concurrent callers per platform (one master, one
+/// port), live until process exit, and are evicted + respawned if a
+/// caller panics mid-run (the pool's poisoning — a desynced session never
+/// serves again).
+pub(crate) fn with_session<R>(
+    platform: &Platform,
+    time_scale: f64,
+    f: impl FnOnce(&RuntimeSession) -> R,
+) -> R {
+    run_with_mode(
+        &POOL,
+        platform,
+        time_scale,
+        || RuntimeSession::new(platform, time_scale),
+        |session| {
+            session.shutdown();
+        },
+        f,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwp_blockmat::fill::random_matrix;
+    use mwp_blockmat::gemm::verify_product;
+
+    #[test]
+    fn session_survives_runs_with_different_block_sides() {
+        // The in-place state reset must handle q changing between runs of
+        // the same pooled workers (scratch blocks are size-bound to q).
+        let platform = Platform::homogeneous(3, 4.0, 1.0, 60).unwrap();
+        let session = RuntimeSession::new(&platform, 0.0);
+        for (round, q) in [(0usize, 8usize), (1, 8), (2, 5), (3, 16), (4, 5)] {
+            let a = random_matrix(4, 3, q, 500 + round as u64);
+            let b = random_matrix(3, 6, q, 600 + round as u64);
+            let c0 = random_matrix(4, 6, q, 700 + round as u64);
+            let out = session.run_holm(&a, &b, c0.clone()).unwrap();
+            verify_product(&out.c, &c0, &a, &b, 1e-9)
+                .unwrap_or_else(|e| panic!("round {round} (q = {q}): off by {e}"));
+        }
+        assert_eq!(session.shutdown(), 3);
+    }
+
+    #[test]
+    fn session_reports_per_run_traffic() {
+        // blocks_moved must be the run's own volume, not the session's
+        // accumulated counters.
+        let platform = Platform::homogeneous(2, 4.0, 1.0, 60).unwrap();
+        let session = RuntimeSession::new(&platform, 0.0);
+        let q = 4;
+        let a = random_matrix(3, 3, q, 1);
+        let b = random_matrix(3, 3, q, 2);
+        let c0 = random_matrix(3, 3, q, 3);
+        let first = session.run_holm(&a, &b, c0.clone()).unwrap();
+        let second = session.run_holm(&a, &b, c0).unwrap();
+        assert_eq!(first.blocks_moved, second.blocks_moved);
+    }
+
+    #[test]
+    fn validation_errors_do_not_poison_the_session() {
+        let platform = Platform::homogeneous(2, 4.0, 1.0, 60).unwrap();
+        let session = RuntimeSession::new(&platform, 0.0);
+        let a = random_matrix(2, 3, 4, 1);
+        let bad_b = random_matrix(2, 2, 4, 2); // wrong inner dimension
+        let c0 = random_matrix(2, 2, 4, 3);
+        assert_eq!(
+            session.run_holm(&a, &bad_b, c0.clone()).unwrap_err(),
+            RuntimeError::ShapeMismatch
+        );
+        // The pool is untouched (no run ever began): a good run still works.
+        let b = random_matrix(3, 2, 4, 2);
+        let c0 = random_matrix(2, 2, 4, 3);
+        let out = session.run_holm(&a, &b, c0.clone()).unwrap();
+        assert!(verify_product(&out.c, &c0, &a, &b, 1e-9).is_ok());
+        assert_eq!(session.shutdown(), 2);
+    }
+}

@@ -15,12 +15,18 @@
 //! column group. All payloads are built in recycled buffer pools, so the
 //! steady-state message path allocates nothing. The simulation in
 //! [`crate::homogeneous`] models the paper's exact volumes.
+//!
+//! Worker threads live in a persistent [`LuSession`]: spawned once per
+//! platform, parked on blocking receives between runs. [`run_lu`] keeps
+//! its one-shot signature (fresh session per call, or the process-wide
+//! pooled one under `MWP_RUNTIME=session`); repeated-factorization
+//! workloads should hold an [`LuSession`] and call [`LuSession::run`].
 
 use mwp_blockmat::lu::{lu_factor_in_place, trsm_left_unit_lower, trsm_right_upper, Dense};
 use mwp_blockmat::BlockMatrix;
-use mwp_msg::{BufferPool, Frame, FrameKind, StarNetwork, Tag, WorkerEndpoint};
+use mwp_msg::session::{run_with_mode, RunExit, Session, SessionPool, RUN_END};
+use mwp_msg::{BufferPool, Frame, FrameKind, Tag, WorkerEndpoint};
 use mwp_platform::{Platform, WorkerId};
-use std::thread;
 use std::time::Instant;
 
 /// Operation codes carried in the frame tag's `i` field.
@@ -47,26 +53,100 @@ pub struct LuRunOutcome {
     pub workers_used: usize,
 }
 
+/// A persistent worker pool serving threaded LU factorizations.
+///
+/// Workers are spawned once and parked between runs; each run of
+/// [`LuSession::run`] wakes them with a `RUN_BEGIN` frame and parks them
+/// again with `RUN_END`, so a repeated-factorization workload (benches,
+/// panel-width sweeps) pays thread spawn/join once and keeps every
+/// worker's payload buffer pool warm across runs.
+pub struct LuSession {
+    inner: Session,
+    platform: Platform,
+}
+
+impl LuSession {
+    /// Spawn the pool for `platform`. `time_scale` paces the links
+    /// (0 = off), exactly as in [`run_lu`].
+    pub fn new(platform: &Platform, time_scale: f64) -> Self {
+        let inner = Session::spawn(platform, time_scale, |_, _| {
+            |_q: u32, ep: &WorkerEndpoint| serve_lu_run(ep)
+        });
+        LuSession { inner, platform: platform.clone() }
+    }
+
+    /// The platform this session was built for.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Number of pooled workers.
+    pub fn workers(&self) -> usize {
+        self.inner.workers()
+    }
+
+    /// Factor `matrix` on the pooled workers (see [`run_lu`]).
+    pub fn run(&self, matrix: &BlockMatrix, mu_blocks: usize) -> LuRunOutcome {
+        lu_on(self, matrix, mu_blocks)
+    }
+
+    /// Orderly shutdown: joins every pooled worker thread and returns how
+    /// many were joined. Dropping the session does the same, silently.
+    pub fn shutdown(self) -> usize {
+        self.inner.shutdown()
+    }
+}
+
+/// Process-wide session cache for the `MWP_RUNTIME=session` mode.
+static POOL: SessionPool<LuSession> = SessionPool::new();
+
 /// Factor `matrix` (square, block side `q`) in parallel with panel width
 /// `mu_blocks` blocks, over `platform` (first worker also handles pivot
 /// and panel phases). `time_scale` paces the links (0 = off).
+///
+/// One-shot wrapper over [`LuSession::run`]: spawns a session, runs once,
+/// shuts it down — or reuses the process-wide pooled session when
+/// `MWP_RUNTIME=session`.
 pub fn run_lu(
     platform: &Platform,
     matrix: &BlockMatrix,
     mu_blocks: usize,
     time_scale: f64,
 ) -> LuRunOutcome {
+    // Pre-flight: a bad call must panic here, before any worker pool is
+    // spawned on its behalf.
+    validate_lu(matrix, mu_blocks);
+    run_with_mode(
+        &POOL,
+        platform,
+        time_scale,
+        || LuSession::new(platform, time_scale),
+        |session| {
+            session.shutdown();
+        },
+        |session| session.run(matrix, mu_blocks),
+    )
+}
+
+/// Panics on malformed inputs; returns `(n, nb)` — matrix side and panel
+/// width in coefficients. Pure, so the one-shot wrapper can reject bad
+/// calls before spawning a session.
+fn validate_lu(matrix: &BlockMatrix, mu_blocks: usize) -> (usize, usize) {
     let (n, m) = matrix.dims();
     assert_eq!(n, m, "LU needs a square matrix");
     let nb = mu_blocks * matrix.q();
     assert!(nb > 0, "panel width must be positive");
+    (n, nb)
+}
 
-    let enrolled = platform.len();
-    let (master, workers) = StarNetwork::build(platform, time_scale).into_endpoints();
-    let handles: Vec<_> = workers
-        .into_iter()
-        .map(|ep| thread::spawn(move || lu_worker_main(ep)))
-        .collect();
+/// The master side of the factorization, executed as one run of
+/// `session`'s worker pool.
+fn lu_on(session: &LuSession, matrix: &BlockMatrix, mu_blocks: usize) -> LuRunOutcome {
+    let (n, nb) = validate_lu(matrix, mu_blocks);
+
+    let enrolled = session.workers();
+    let epoch = session.inner.begin_run(enrolled, matrix.q() as u32);
+    let master = session.inner.master();
 
     let start = Instant::now();
     let mut a = Dense::from_blocks(matrix);
@@ -140,12 +220,7 @@ pub fn run_lu(
         k0 = k1;
     }
 
-    for i in 0..enrolled {
-        master.send(WorkerId(i), Frame::shutdown(), 0);
-    }
-    for h in handles {
-        h.join().expect("LU worker panicked");
-    }
+    session.inner.finish_run(enrolled, epoch);
 
     LuRunOutcome {
         packed: a,
@@ -155,25 +230,39 @@ pub fn run_lu(
     }
 }
 
-/// Worker loop: decode the op, run the kernel, return the result matrix.
+/// Worker loop for **one run** of a session: decode the op, run the
+/// kernel, return the result matrix. Parks back into the session's outer
+/// loop on `RUN_END`.
 ///
 /// The worker keeps the step's vertical panel resident (installed by
 /// `OP_SET_VERT`), so core-update messages carry only their own column
-/// group. Result payloads are built in the endpoint's recycled buffer
-/// pool — the worker allocates nothing per message at steady state beyond
-/// the decoded task matrices themselves.
-fn lu_worker_main(ep: WorkerEndpoint) {
-    // Resolve the block-update kernel once per worker thread; every
-    // OP_CORE rank-µ update below reuses it without touching dispatch.
+/// group; the panel is per-run state and drops when the run ends. Result
+/// payloads are built in the endpoint's recycled buffer pool — which
+/// lives in the endpoint and therefore stays warm **across** runs — so
+/// the worker allocates nothing per message at steady state beyond the
+/// decoded task matrices themselves.
+fn serve_lu_run(ep: &WorkerEndpoint) -> RunExit {
+    // Resolve the block-update kernel once per run from the cached
+    // dispatch table; every OP_CORE rank-µ update below reuses it.
     let kernel = mwp_blockmat::kernel::active();
     let mut vert: Option<Dense> = None;
     loop {
         let frame = match ep.recv() {
             Ok(f) => f,
-            Err(_) => return,
+            Err(_) => return RunExit::Terminate,
         };
-        if frame.tag.kind == FrameKind::Shutdown {
-            return;
+        match frame.tag.kind {
+            FrameKind::Shutdown => return RunExit::Terminate,
+            FrameKind::Control if frame.tag.i == RUN_END => return RunExit::Completed,
+            // Any other control frame here means the master aborted a run
+            // without closing it and the session was reused (a fresh
+            // RUN_BEGIN would otherwise be fed to decode_parts): fail
+            // loudly instead of factoring against stale state.
+            FrameKind::Control => panic!(
+                "control frame {} inside an LU run: session reused after an aborted run",
+                frame.tag.i
+            ),
+            _ => {}
         }
         debug_assert_eq!(frame.tag.kind, FrameKind::LuPanel);
         let parts = decode_parts(&frame.payload);

@@ -70,27 +70,31 @@ impl MasterEndpoint {
     /// Receive with a wall-clock timeout. Returns `None` on timeout —
     /// used by failure-aware masters to detect dead workers instead of
     /// blocking forever.
+    ///
+    /// The wait is a real blocking park on the link channel's own
+    /// `recv_timeout` (condvar parking), so a timeout costs **zero**
+    /// idle CPU — no polling loop, no sleep quantum. The
+    /// port is only taken once a frame is actually available, to pay the
+    /// transfer (same discipline as [`MasterEndpoint::recv`]'s contract:
+    /// waiting for a slow worker does not occupy the port).
     pub fn recv_timeout(
         &self,
         from: WorkerId,
         blocks: u64,
         timeout: std::time::Duration,
     ) -> Option<(Frame, f64)> {
-        // Poll without the port, then pay the transfer under the port once
-        // a frame is available (same discipline as `recv`).
-        let deadline = std::time::Instant::now() + timeout;
-        loop {
-            {
-                let _guard = self.port.acquire();
-                if let Some(r) = self.links[from.index()].try_recv(blocks) {
-                    return Some(r);
-                }
-            }
-            if std::time::Instant::now() >= deadline {
-                return None;
-            }
-            std::thread::sleep(std::time::Duration::from_micros(200));
-        }
+        let frame = self.links[from.index()].recv_wait(timeout)?;
+        let _guard = self.port.acquire();
+        Some(self.links[from.index()].finish_recv(frame, blocks))
+    }
+
+    /// Best-effort control send for teardown paths: identical port and
+    /// metering behavior to [`MasterEndpoint::send`], but a link whose
+    /// worker already exited is ignored instead of panicking (session
+    /// shutdown must not fail because a worker died first).
+    pub fn send_lossy(&self, to: WorkerId, frame: Frame) {
+        let _guard = self.port.acquire();
+        self.links[to.index()].send_lossy(frame, 0);
     }
 
     /// Per-link statistics snapshot.
@@ -238,6 +242,43 @@ mod tests {
         let none = master.recv_timeout(WorkerId(1), 0, std::time::Duration::from_millis(50));
         assert!(none.is_none(), "dead worker must time out");
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_late_frame() {
+        // The timed receive must park and be woken by a frame that arrives
+        // mid-wait (the old implementation polled; this one blocks on the
+        // channel), well before the generous timeout.
+        let (master, workers) = star(1);
+        let w = workers.into_iter().next().unwrap();
+        let handle = thread::spawn(move || {
+            let f = w.recv().unwrap();
+            // Reply only after the master is (very likely) parked.
+            thread::sleep(std::time::Duration::from_millis(20));
+            w.send(f);
+        });
+        master.send(
+            WorkerId(0),
+            Frame::new(Tag::new(FrameKind::Control, 3, 0), Bytes::new()),
+            0,
+        );
+        let start = std::time::Instant::now();
+        let got = master.recv_timeout(WorkerId(0), 0, std::time::Duration::from_secs(30));
+        assert!(got.is_some(), "late frame must wake the parked receiver");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "woke only near the timeout: the wait is not event-driven"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn send_lossy_ignores_dead_worker() {
+        let (master, workers) = star(2);
+        drop(workers); // both worker endpoints gone: channels closed
+        // A plain send would panic; the lossy teardown send must not.
+        master.send_lossy(WorkerId(0), Frame::shutdown());
+        master.send_lossy(WorkerId(1), Frame::shutdown());
     }
 
     #[test]

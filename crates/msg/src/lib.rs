@@ -20,7 +20,11 @@
 //!   time) that the experiment harness reads after a run,
 //! * [`BufferPool`] — recycling payload buffers: result frames are built
 //!   in pooled storage that returns to the sender once the receiver drops
-//!   the last view, making steady-state traffic allocation-free.
+//!   the last view, making steady-state traffic allocation-free,
+//! * [`Session`] — a persistent worker pool over the star: worker threads
+//!   spawn once, park on blocking receives between `RUN_BEGIN`/`RUN_END`
+//!   delimited runs, and are shared process-wide through
+//!   [`session::SessionPool`] when `MWP_RUNTIME=session`.
 //!
 //! Worker-side receives do **not** take the port — only the master is
 //! port-limited, exactly as in the model (each worker has its own link).
@@ -31,6 +35,7 @@ pub mod link;
 pub mod net;
 pub mod pool;
 pub mod port;
+pub mod session;
 pub mod stats;
 
 pub use endpoint::{MasterEndpoint, WorkerEndpoint};
@@ -39,4 +44,5 @@ pub use link::Link;
 pub use net::StarNetwork;
 pub use pool::BufferPool;
 pub use port::OnePort;
+pub use session::Session;
 pub use stats::LinkStats;

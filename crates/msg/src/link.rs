@@ -151,13 +151,29 @@ pub struct MasterSide {
 impl MasterSide {
     /// Paced send; returns model-time cost.
     pub fn send(&self, frame: Frame, blocks: u64) -> f64 {
+        self.send_inner(frame, blocks, false)
+    }
+
+    /// Best-effort send for lifecycle/teardown traffic: a closed link
+    /// (the worker thread already exited) is silently ignored instead of
+    /// panicking, and nothing is metered for the undelivered frame.
+    pub fn send_lossy(&self, frame: Frame, blocks: u64) -> f64 {
+        self.send_inner(frame, blocks, true)
+    }
+
+    fn send_inner(&self, frame: Frame, blocks: u64, lossy: bool) -> f64 {
         let start = Instant::now();
         let cost = blocks as f64 * self.c;
         self.pacing.pace(cost);
-        self.stats
-            .record_to_worker(frame.wire_len(), metered_blocks(&frame, blocks));
-        self.tx.send(frame).expect("worker endpoint dropped");
-        self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
+        let wire_len = frame.wire_len();
+        let metered = metered_blocks(&frame, blocks);
+        let delivered = self.tx.send(frame).is_ok();
+        if delivered {
+            self.stats.record_to_worker(wire_len, metered);
+            self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
+        } else if !lossy {
+            panic!("worker endpoint dropped");
+        }
         cost
     }
 
@@ -165,25 +181,34 @@ impl MasterSide {
     /// already available. `None` when the channel is empty or closed.
     pub fn try_recv(&self, blocks: u64) -> Option<(Frame, f64)> {
         let frame = self.rx.try_recv().ok()?;
-        let start = Instant::now();
-        let cost = blocks as f64 * self.c;
-        self.pacing.pace(cost);
-        self.stats
-            .record_to_master(frame.wire_len(), metered_blocks(&frame, blocks));
-        self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
-        Some((frame, cost))
+        Some(self.finish_recv(frame, blocks))
     }
 
     /// Paced receive; blocks until the worker produced a frame.
     pub fn recv(&self, blocks: u64) -> Result<(Frame, f64), RecvError> {
         let frame = self.rx.recv()?;
+        Ok(self.finish_recv(frame, blocks))
+    }
+
+    /// Phase 1 of a timed receive: park on the channel's own timed
+    /// receive (condvar parking, no polling) **without** paying any
+    /// transfer cost, until a frame arrives or `timeout` elapses. The
+    /// caller then settles the transfer with [`MasterSide::finish_recv`]
+    /// — under the one-port guard, in the endpoint's case.
+    pub fn recv_wait(&self, timeout: Duration) -> Option<Frame> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Phase 2 of a receive: meter and pace a frame already pulled off
+    /// the channel (by [`MasterSide::recv_wait`] or a raw channel read).
+    pub fn finish_recv(&self, frame: Frame, blocks: u64) -> (Frame, f64) {
         let start = Instant::now();
         let cost = blocks as f64 * self.c;
         self.pacing.pace(cost);
         self.stats
             .record_to_master(frame.wire_len(), metered_blocks(&frame, blocks));
         self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
-        Ok((frame, cost))
+        (frame, cost)
     }
 
     /// Statistics handle for this link.

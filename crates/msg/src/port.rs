@@ -56,6 +56,15 @@ impl OnePort {
         st.now_serving += 1;
         cv.notify_all();
     }
+
+    /// Tickets handed out since creation (= acquires *started*, including
+    /// the one currently served and any queued waiters). A waiter's FIFO
+    /// position is fixed the instant its ticket is taken, so tests and
+    /// diagnostics can wait on this counter to know a thread is enqueued —
+    /// no timing assumptions, no sleeps.
+    pub fn tickets_issued(&self) -> u64 {
+        self.next_ticket.load(Ordering::SeqCst)
+    }
 }
 
 /// Exclusive hold of the port; released on drop.
@@ -91,8 +100,13 @@ mod tests {
                     let _g = port.acquire();
                     let n = inside.fetch_add(1, Ordering::SeqCst) + 1;
                     max_seen.fetch_max(n, Ordering::SeqCst);
-                    // Hold briefly so overlap would be observable.
-                    thread::sleep(Duration::from_micros(20));
+                    // Hold briefly so overlap would be observable — a spin
+                    // hold, not a sleep, so the window does not depend on
+                    // the scheduler's sleep granularity.
+                    let hold = std::time::Instant::now();
+                    while hold.elapsed() < Duration::from_micros(20) {
+                        std::hint::spin_loop();
+                    }
                     inside.fetch_sub(1, Ordering::SeqCst);
                 }
             }));
@@ -106,20 +120,23 @@ mod tests {
     #[test]
     fn fifo_order_served() {
         // One holder, then N queued threads; they must be served in ticket
-        // (arrival) order.
+        // (arrival) order. Each spawn is gated on the previous thread
+        // having *taken its ticket* — the FIFO position is fixed at that
+        // instant — so the ordering is deterministic without any sleeps.
         let port = OnePort::new();
         let order = Arc::new(Mutex::new(Vec::new()));
-        let first = port.acquire();
+        let first = port.acquire(); // ticket 0: everyone below queues
         let mut handles = vec![];
-        for id in 0..4 {
-            let port = port.clone();
+        for id in 0..4u64 {
+            let port2 = port.clone();
             let order = order.clone();
             handles.push(thread::spawn(move || {
-                let _g = port.acquire();
+                let _g = port2.acquire();
                 order.lock().push(id);
             }));
-            // Give each thread time to enqueue its ticket before the next.
-            thread::sleep(Duration::from_millis(20));
+            while port.tickets_issued() < id + 2 {
+                thread::yield_now();
+            }
         }
         drop(first);
         for h in handles {

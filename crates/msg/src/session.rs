@@ -1,0 +1,520 @@
+//! Persistent worker-pool sessions.
+//!
+//! The runtimes historically spawned a fresh thread per worker on **every
+//! call** and joined them all at the end — pure overhead once a workload
+//! runs many back-to-back products (benches, parameter sweeps, the
+//! experiment suite). A [`Session`] spawns the star's worker threads
+//! **once**, parks each of them on its endpoint's blocking receive, and
+//! serves an unbounded sequence of runs:
+//!
+//! * the master marks the start of a run by sending every enrolled worker
+//!   a `RUN_BEGIN` control frame (carrying one `u32` run parameter, e.g.
+//!   the block side `q`);
+//! * the worker's *program* — a caller-supplied closure holding whatever
+//!   per-worker state it wants to persist across runs (scratch blocks,
+//!   buffer pools) — serves the run's frames until it sees the matching
+//!   `RUN_END` control frame, then returns to the parked outer loop;
+//! * a [`Frame::shutdown`] (or the master endpoint dropping) terminates
+//!   the thread for good.
+//!
+//! Between runs a worker costs nothing: it is blocked in the channel's
+//! own blocking receive (condvar parking), not polling. This
+//! is also the shape a future socket transport attaches to — a remote
+//! worker process is exactly a session worker whose endpoint happens to
+//! be a socket.
+//!
+//! [`SessionPool`] adds process-wide reuse: keyed by the platform
+//! fingerprint, it hands out one shared session per distinct platform so
+//! the `MWP_RUNTIME=session` mode (see [`runtime_mode`]) can route the
+//! one-shot `run_*` entry points through pooled workers without any API
+//! change for callers.
+
+use crate::endpoint::{MasterEndpoint, WorkerEndpoint};
+use crate::frame::{Frame, FrameKind, Tag};
+use crate::net::StarNetwork;
+use bytes::Bytes;
+use mwp_platform::{Platform, WorkerId, WorkerParams};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+
+/// `Tag::i` sentinel of the control frame that opens a run. `Tag::j`
+/// carries the run parameter handed to the worker program.
+pub const RUN_BEGIN: u32 = u32::MAX - 1;
+/// `Tag::i` sentinel of the control frame that closes a run.
+pub const RUN_END: u32 = u32::MAX;
+
+/// The control frame that opens a run with parameter `param`.
+pub fn run_begin_frame(param: u32) -> Frame {
+    Frame::new(Tag { kind: FrameKind::Control, i: RUN_BEGIN, j: param }, Bytes::new())
+}
+
+/// The control frame that closes the current run.
+pub fn run_end_frame() -> Frame {
+    Frame::new(Tag { kind: FrameKind::Control, i: RUN_END, j: 0 }, Bytes::new())
+}
+
+/// How a worker program left a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// The run ended with `RUN_END`; the worker parks for the next run.
+    Completed,
+    /// Shutdown (explicit frame or closed channel): the thread exits.
+    Terminate,
+}
+
+/// Opaque receipt returned by [`Session::begin_run`]: remembers the
+/// session's block counters at run start so [`Session::finish_run`] can
+/// report the run's own traffic even though the underlying link stats
+/// accumulate for the session's whole lifetime — and holds the session's
+/// run-exclusion lock, so a second `begin_run` from another thread blocks
+/// until this run is finished (a session serves **one run at a time**;
+/// an interleaved `RUN_BEGIN` would be misread by an in-run worker).
+#[must_use = "pass the epoch back to finish_run to close the run"]
+pub struct RunEpoch<'s> {
+    blocks_at_start: u64,
+    _exclusive: parking_lot::MutexGuard<'s, ()>,
+}
+
+/// A star network whose worker threads are spawned once and reused for an
+/// unbounded sequence of runs (one at a time — concurrent callers
+/// serialize on [`Session::begin_run`]).
+pub struct Session {
+    master: MasterEndpoint,
+    handles: Vec<thread::JoinHandle<()>>,
+    /// Held from `begin_run` to `finish_run` via the [`RunEpoch`].
+    run_lock: Mutex<()>,
+}
+
+impl Session {
+    /// Wire the star for `platform` and spawn one parked worker thread per
+    /// platform worker. `factory` is called once per worker (on the
+    /// calling thread) to build that worker's *program*: the closure that
+    /// serves one run's frames and returns how it exited. State captured
+    /// by the program persists across runs — that is the point.
+    pub fn spawn<F, P>(platform: &Platform, time_scale: f64, mut factory: F) -> Session
+    where
+        F: FnMut(WorkerId, WorkerParams) -> P,
+        P: FnMut(u32, &WorkerEndpoint) -> RunExit + Send + 'static,
+    {
+        let (master, workers) = StarNetwork::build(platform, time_scale).into_endpoints();
+        let handles = platform
+            .iter()
+            .zip(workers)
+            .map(|((id, params), ep)| {
+                let mut program = factory(id, *params);
+                thread::Builder::new()
+                    .name(format!("mwp-worker-{}", id.index()))
+                    .spawn(move || worker_loop(ep, &mut program))
+                    .expect("spawn session worker thread")
+            })
+            .collect();
+        Session { master, handles, run_lock: Mutex::new(()) }
+    }
+
+    /// The master endpoint (valid for the session's whole lifetime).
+    pub fn master(&self) -> &MasterEndpoint {
+        &self.master
+    }
+
+    /// Number of pooled workers.
+    pub fn workers(&self) -> usize {
+        self.master.workers()
+    }
+
+    /// Open a run on workers `0..enrolled`, waking each from its parked
+    /// receive with a `RUN_BEGIN` frame carrying `param`. Workers outside
+    /// the enrollment stay parked and cost nothing.
+    ///
+    /// Lifecycle frames are sent best-effort: a worker that already died
+    /// (it panicked mid-previous-run) must surface as the data path's
+    /// "worker died" receive failure — or as the worker's own panic at
+    /// join time — not as an unrelated send panic here.
+    pub fn begin_run(&self, enrolled: usize, param: u32) -> RunEpoch<'_> {
+        // One run at a time: a concurrent caller parks here until the
+        // in-flight run's epoch is consumed by `finish_run`.
+        let exclusive = self.run_lock.lock();
+        let blocks_at_start = self.master.total_blocks();
+        for idx in 0..enrolled {
+            self.master.send_lossy(WorkerId(idx), run_begin_frame(param));
+        }
+        RunEpoch { blocks_at_start, _exclusive: exclusive }
+    }
+
+    /// Close the run opened by the matching [`Session::begin_run`]: sends
+    /// `RUN_END` to the enrolled workers (parking them again, best-effort
+    /// like [`Session::begin_run`]) and returns the matrix blocks this
+    /// run moved through the port.
+    pub fn finish_run(&self, enrolled: usize, epoch: RunEpoch<'_>) -> u64 {
+        for idx in 0..enrolled {
+            self.master.send_lossy(WorkerId(idx), run_end_frame());
+        }
+        self.master.total_blocks() - epoch.blocks_at_start
+    }
+
+    /// Orderly shutdown: sends every worker a shutdown frame and joins its
+    /// thread. Returns the number of workers joined; propagates a worker
+    /// panic to the caller.
+    pub fn shutdown(mut self) -> usize {
+        self.teardown(true)
+    }
+
+    fn teardown(&mut self, propagate_panics: bool) -> usize {
+        for idx in 0..self.master.workers() {
+            // Best-effort: a worker that already exited (panic, closed
+            // channel) must not turn teardown into a send panic.
+            self.master.send_lossy(WorkerId(idx), Frame::shutdown());
+        }
+        let mut joined = 0;
+        for handle in self.handles.drain(..) {
+            match handle.join() {
+                Ok(()) => joined += 1,
+                Err(payload) if propagate_panics => std::panic::resume_unwind(payload),
+                Err(_) => {}
+            }
+        }
+        joined
+    }
+}
+
+impl Drop for Session {
+    /// Dropping a session shuts it down: workers get the shutdown frame
+    /// and are joined (panics are swallowed — the master is often already
+    /// unwinding when a drop-path teardown runs).
+    fn drop(&mut self) {
+        self.teardown(false);
+    }
+}
+
+/// The outer loop every session worker parks in: wait (blocking, no
+/// polling) for the next `RUN_BEGIN`, serve the run through `program`,
+/// repeat until shutdown.
+fn worker_loop<P>(ep: WorkerEndpoint, program: &mut P)
+where
+    P: FnMut(u32, &WorkerEndpoint) -> RunExit,
+{
+    loop {
+        let frame = match ep.recv() {
+            Ok(f) => f,
+            Err(_) => return, // master endpoint dropped: implicit shutdown
+        };
+        match frame.tag.kind {
+            FrameKind::Shutdown => return,
+            FrameKind::Control if frame.tag.i == RUN_BEGIN => {
+                if program(frame.tag.j, &ep) == RunExit::Terminate {
+                    return;
+                }
+            }
+            other => unreachable!("{other:?} frame outside a run (tag {:?})", frame.tag),
+        }
+    }
+}
+
+/// Which backing runtime the one-shot `run_*` entry points use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeMode {
+    /// Spawn a fresh session per call and shut it down after (the
+    /// historical behavior, now expressed as a one-run session).
+    FreshSpawn,
+    /// Route through a process-wide [`SessionPool`], reusing workers
+    /// across calls with the same platform.
+    PooledSession,
+}
+
+/// Reads `MWP_RUNTIME` once per process: `session` forces the pooled
+/// runtime, `fresh`/empty/unset the per-call spawn. Anything else panics —
+/// a typo silently falling back would defeat the CI matrix leg that sets
+/// this.
+pub fn runtime_mode() -> RuntimeMode {
+    static MODE: OnceLock<RuntimeMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("MWP_RUNTIME") {
+        Ok(v) if v == "session" => RuntimeMode::PooledSession,
+        Ok(v) if v.is_empty() || v == "fresh" => RuntimeMode::FreshSpawn,
+        Ok(v) => panic!("MWP_RUNTIME={v:?} is not recognized (use \"fresh\" or \"session\")"),
+        Err(_) => RuntimeMode::FreshSpawn,
+    })
+}
+
+/// Stable identity of a platform + pacing configuration, used as the
+/// sharing key for pooled sessions: two calls agree on a session exactly
+/// when every worker's `(c, w, m)` and the time scale are bit-equal.
+pub fn fingerprint(platform: &Platform, time_scale: f64) -> Vec<u64> {
+    let mut key = Vec::with_capacity(1 + 3 * platform.len());
+    key.push(time_scale.to_bits());
+    for w in platform.workers() {
+        key.push(w.c.to_bits());
+        key.push(w.w.to_bits());
+        key.push(w.m as u64);
+    }
+    key
+}
+
+/// One pooled session plus its poison flag (set when a caller panicked
+/// mid-run: the workers may be desynced — parked mid-`serve_run`, stale
+/// scratch — so the entry must never serve another run). The session is
+/// built lazily under the **entry** lock, never under the pool-map lock,
+/// so spawning one platform's workers cannot block callers with other
+/// fingerprints.
+struct PoolEntry<S> {
+    session: Option<S>,
+    poisoned: AtomicBool,
+}
+
+/// Sets the poison flag unless disarmed with [`std::mem::forget`] — the
+/// unwind path of [`SessionPool::with`].
+struct PoisonOnUnwind<'a> {
+    flag: &'a AtomicBool,
+}
+
+impl Drop for PoisonOnUnwind<'_> {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::Release);
+    }
+}
+
+/// A process-wide cache of sessions keyed by platform [`fingerprint`].
+///
+/// `S` is the caller's session wrapper (e.g. the matrix runtime's
+/// `RuntimeSession`); each entry is behind a [`Mutex`] because a session
+/// serves one run at a time — concurrent callers with the same platform
+/// serialize, which is exactly the one-master model.
+///
+/// Healthy entries are retained for the life of the process (only
+/// poisoned ones are evicted): each distinct fingerprint keeps its parked
+/// worker threads and warm buffer pools alive. That is the point for
+/// repeated runs on a few platforms; a sweep over **many distinct**
+/// platforms should hold its sessions directly (scoping their lifetime)
+/// instead of going through the pooled mode.
+pub struct SessionPool<S> {
+    map: OnceLock<Mutex<HashMap<Vec<u64>, Arc<Mutex<PoolEntry<S>>>>>>,
+}
+
+impl<S> SessionPool<S> {
+    /// An empty pool (usable in a `static`).
+    pub const fn new() -> Self {
+        SessionPool { map: OnceLock::new() }
+    }
+
+    fn map(&self) -> &Mutex<HashMap<Vec<u64>, Arc<Mutex<PoolEntry<S>>>>> {
+        self.map.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// The shared entry for `key`. Holds the map lock only for the map
+    /// operation itself — the (expensive, thread-spawning) session build
+    /// happens later under the entry's own lock.
+    fn checkout(&self, key: Vec<u64>) -> Arc<Mutex<PoolEntry<S>>> {
+        let mut entries = self.map().lock();
+        entries
+            .entry(key)
+            .or_insert_with(|| {
+                Arc::new(Mutex::new(PoolEntry { session: None, poisoned: AtomicBool::new(false) }))
+            })
+            .clone()
+    }
+
+    /// Drop `stale` from the map (if it is still the entry for `key`), so
+    /// the next checkout rebuilds. The abandoned session shuts down when
+    /// the last `Arc` holder lets go.
+    fn evict(&self, key: &[u64], stale: &Arc<Mutex<PoolEntry<S>>>) {
+        let mut entries = self.map().lock();
+        if entries.get(key).is_some_and(|current| Arc::ptr_eq(current, stale)) {
+            entries.remove(key);
+        }
+    }
+
+    /// Run `f` on the pooled session for `platform` + `time_scale`,
+    /// building one with `build` on first use.
+    ///
+    /// Panic safety: if `f` unwinds mid-run, the entry is **poisoned** —
+    /// its workers may be desynced (parked mid-run with stale state), so
+    /// it is evicted and every later or concurrently-waiting caller
+    /// rebuilds a fresh session instead of corrupting the next run. One
+    /// failing caller therefore costs one session respawn, nothing more.
+    pub fn with<R>(
+        &self,
+        platform: &Platform,
+        time_scale: f64,
+        build: impl Fn() -> S,
+        f: impl FnOnce(&S) -> R,
+    ) -> R {
+        let key = fingerprint(platform, time_scale);
+        let mut f = Some(f);
+        loop {
+            let shared = self.checkout(key.clone());
+            let mut guard = shared.lock();
+            if guard.poisoned.load(Ordering::Acquire) {
+                // A previous caller panicked mid-run on this session:
+                // evict and retry with a fresh one.
+                drop(guard);
+                self.evict(&key, &shared);
+                continue;
+            }
+            if guard.session.is_none() {
+                // First use (or a retry after build itself panicked, which
+                // leaves the entry empty and unpoisoned).
+                guard.session = Some(build());
+            }
+            let PoolEntry { session, poisoned } = &mut *guard;
+            let sentinel = PoisonOnUnwind { flag: poisoned };
+            let out =
+                (f.take().expect("loop only reaches f once"))(session.as_ref().expect("just built"));
+            std::mem::forget(sentinel);
+            return out;
+        }
+    }
+}
+
+impl<S> Default for SessionPool<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The shared entry-point shape of the one-shot `run_*` wrappers: spawn a
+/// throwaway session per call under [`RuntimeMode::FreshSpawn`] (with an
+/// explicit `shutdown` so worker panics propagate), or serve the run from
+/// `pool` under [`RuntimeMode::PooledSession`].
+pub fn run_with_mode<S, R>(
+    pool: &SessionPool<S>,
+    platform: &Platform,
+    time_scale: f64,
+    build: impl Fn() -> S,
+    shutdown: impl FnOnce(S),
+    f: impl FnOnce(&S) -> R,
+) -> R {
+    match runtime_mode() {
+        RuntimeMode::FreshSpawn => {
+            let session = build();
+            let out = f(&session);
+            shutdown(session);
+            out
+        }
+        RuntimeMode::PooledSession => pool.with(platform, time_scale, build, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An echo program: bounce every in-run frame back tagged with the
+    /// run parameter, so tests can see which run served them.
+    fn echo_program(param: u32, ep: &WorkerEndpoint) -> RunExit {
+        loop {
+            let frame = match ep.recv() {
+                Ok(f) => f,
+                Err(_) => return RunExit::Terminate,
+            };
+            match frame.tag.kind {
+                FrameKind::Shutdown => return RunExit::Terminate,
+                FrameKind::Control if frame.tag.i == RUN_END => return RunExit::Completed,
+                _ => ep.send(Frame::new(
+                    Tag::new(FrameKind::CResult, frame.tag.i as usize, param as usize),
+                    frame.payload,
+                )),
+            }
+        }
+    }
+
+    fn echo_session(p: usize) -> Session {
+        let platform = Platform::homogeneous(p, 1.0, 1.0, 8).unwrap();
+        Session::spawn(&platform, 0.0, |_, _| echo_program)
+    }
+
+    #[test]
+    fn one_session_serves_many_runs() {
+        let session = echo_session(2);
+        for run in 0..5u32 {
+            let epoch = session.begin_run(2, run);
+            for w in 0..2 {
+                session.master().send(
+                    WorkerId(w),
+                    Frame::new(Tag::new(FrameKind::BlockA, w, 0), Bytes::from_static(b"x")),
+                    1,
+                );
+            }
+            for w in 0..2 {
+                let (frame, _) = session.master().recv(WorkerId(w), 1).unwrap();
+                assert_eq!(frame.tag.kind, FrameKind::CResult);
+                assert_eq!(frame.tag.i as usize, w, "echo routed per link");
+                assert_eq!(frame.tag.j, run, "program saw this run's parameter");
+            }
+            // Each run moved exactly its own 4 blocks, although the
+            // session's raw counters keep growing.
+            assert_eq!(session.finish_run(2, epoch), 4);
+        }
+        assert_eq!(session.master().total_blocks(), 20);
+        assert_eq!(session.shutdown(), 2);
+    }
+
+    #[test]
+    fn partial_enrollment_leaves_other_workers_parked() {
+        let session = echo_session(3);
+        let epoch = session.begin_run(1, 7);
+        session.master().send(
+            WorkerId(0),
+            Frame::new(Tag::new(FrameKind::BlockB, 9, 9), Bytes::new()),
+            1,
+        );
+        let (frame, _) = session.master().recv(WorkerId(0), 1).unwrap();
+        assert_eq!(frame.tag.j, 7);
+        assert_eq!(session.finish_run(1, epoch), 2);
+        // Workers 1 and 2 never saw a frame; shutdown still joins all 3.
+        assert_eq!(session.shutdown(), 3);
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_cleanly() {
+        let session = echo_session(4);
+        let epoch = session.begin_run(4, 0);
+        session.finish_run(4, epoch);
+        drop(session); // would hang (test timeout) if workers leaked
+    }
+
+    #[test]
+    fn pool_shares_by_fingerprint() {
+        let pool: SessionPool<u32> = SessionPool::new();
+        let pf_a = Platform::homogeneous(2, 1.0, 1.0, 8).unwrap();
+        let pf_b = Platform::homogeneous(3, 1.0, 1.0, 8).unwrap();
+        let builds = std::cell::Cell::new(0u32);
+        let build = || {
+            builds.set(builds.get() + 1);
+            builds.get()
+        };
+        assert_eq!(pool.with(&pf_a, 0.0, build, |s| *s), 1);
+        assert_eq!(pool.with(&pf_a, 0.0, build, |s| *s), 1, "same platform reuses the session");
+        assert_eq!(pool.with(&pf_b, 0.0, build, |s| *s), 2, "different platform rebuilds");
+        assert_eq!(pool.with(&pf_a, 0.5, build, |s| *s), 3, "pacing is part of the identity");
+    }
+
+    #[test]
+    fn pool_evicts_poisoned_sessions_after_a_panic() {
+        let pool: SessionPool<u32> = SessionPool::new();
+        let pf = Platform::homogeneous(2, 1.0, 1.0, 8).unwrap();
+        let builds = std::cell::Cell::new(0u32);
+        let build = || {
+            builds.set(builds.get() + 1);
+            builds.get()
+        };
+        assert_eq!(pool.with(&pf, 0.0, build, |s| *s), 1);
+        // A caller panicking mid-run poisons the entry…
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.with(&pf, 0.0, build, |_: &u32| panic!("run blew up"))
+        }));
+        assert!(panicked.is_err());
+        // …so the next caller gets a freshly built session, not the
+        // desynced one.
+        assert_eq!(pool.with(&pf, 0.0, build, |s| *s), 2);
+        assert_eq!(pool.with(&pf, 0.0, build, |s| *s), 2, "the rebuilt entry is reused");
+    }
+
+    #[test]
+    fn fingerprints_distinguish_worker_params() {
+        let a = Platform::homogeneous(2, 1.0, 1.0, 8).unwrap();
+        let b = Platform::homogeneous(2, 1.0, 1.0, 9).unwrap();
+        assert_ne!(fingerprint(&a, 0.0), fingerprint(&b, 0.0));
+        assert_eq!(fingerprint(&a, 0.0), fingerprint(&a.clone(), 0.0));
+    }
+}
