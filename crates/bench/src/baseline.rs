@@ -68,11 +68,18 @@ pub struct Measurement {
     /// count (block kernels: `2q³` per update). `None` for workloads whose
     /// cost is dominated by scheduling/transport rather than arithmetic.
     pub gflops: Option<f64>,
+    /// B packs performed per iteration (process-wide
+    /// [`mwp_blockmat::kernel::pack_count`] delta over one deterministic
+    /// call), where it is meaningful — this is the direct measure of
+    /// repack elimination: e.g. `gemm_serial/6x6_q40` packs 36 B blocks
+    /// prepacked vs 216 per-call. `None` for workloads without a stable
+    /// pack count.
+    pub packs_per_iter: Option<f64>,
 }
 
 impl Measurement {
     fn timed(name: impl Into<String>, ns_per_iter: f64) -> Self {
-        Measurement { name: name.into(), ns_per_iter, gflops: None }
+        Measurement { name: name.into(), ns_per_iter, gflops: None, packs_per_iter: None }
     }
 
     /// A measurement with a known per-iteration FLOP count; `GFLOP/s`
@@ -82,7 +89,16 @@ impl Measurement {
             name: name.into(),
             ns_per_iter,
             gflops: Some(flops as f64 / ns_per_iter),
+            packs_per_iter: None,
         }
+    }
+
+    /// Attach the pack count observed for one iteration of `f`.
+    fn with_packs(mut self, f: impl FnOnce()) -> Self {
+        let before = mwp_blockmat::kernel::pack_count();
+        f();
+        self.packs_per_iter = Some((mwp_blockmat::kernel::pack_count() - before) as f64);
+        self
     }
 }
 
@@ -112,12 +128,15 @@ pub fn measure_all() -> Vec<Measurement> {
     let mut out = Vec::new();
 
     // Block-kernel q-sweep: tracks how the register-blocked microkernel
-    // scales from call-overhead-bound (q = 20) to FLOP-bound (q = 160),
-    // in GFLOP/s so kernel changes are measured, not asserted. The q = 80
+    // scales from call-overhead-bound (q = 20) through FLOP-bound
+    // (q = 80–160) to the cache-blocked regime (q = 320, 640 — B at
+    // q = 640 is 3.3 MB, far beyond L2, so these points sit on the
+    // kc-blocked pack; without it they fall off the L2 cliff), in
+    // GFLOP/s so kernel changes are measured, not asserted. The q = 80
     // point is the paper's unit of computation; the same measurement also
     // reports under its legacy `gemm_acc/q80` name (listed first) so the
     // committed pre-optimization baseline stays comparable.
-    for q in [20usize, 40, 80, 160] {
+    for q in [20usize, 40, 80, 160, 320, 640] {
         let a = random_block(q, 1);
         let b = random_block(q, 2);
         let mut c = Block::zeros(q);
@@ -125,7 +144,10 @@ pub fn measure_all() -> Vec<Measurement> {
         if q == 80 {
             out.insert(0, Measurement::with_flops("gemm_acc/q80", ns, flops(q)));
         }
-        out.push(Measurement::with_flops(format!("block_kernel/q{q}"), ns, flops(q)));
+        out.push(
+            Measurement::with_flops(format!("block_kernel/q{q}"), ns, flops(q))
+                .with_packs(|| c.gemm_acc(black_box(&a), black_box(&b))),
+        );
     }
 
     // Whole-matrix products, serial and parallel (6×6 blocks of q = 40,
@@ -140,13 +162,21 @@ pub fn measure_all() -> Vec<Measurement> {
             gemm_serial(&mut c, black_box(&a), &b);
             c
         });
-        out.push(Measurement::timed("gemm_serial/6x6_q40", ns));
+        // Pack counts make the prepacked-panel reuse visible: 6×6×6
+        // blocks is 216 per-call packs but only 36 (t·s) prepacked.
+        out.push(Measurement::timed("gemm_serial/6x6_q40", ns).with_packs(|| {
+            let mut c = c0.clone();
+            gemm_serial(&mut c, &a, &b);
+        }));
         let ns = time_workload(|| {
             let mut c = c0.clone();
             gemm_parallel(&mut c, black_box(&a), &b);
             c
         });
-        out.push(Measurement::timed("gemm_parallel/6x6_q40", ns));
+        out.push(Measurement::timed("gemm_parallel/6x6_q40", ns).with_packs(|| {
+            let mut c = c0.clone();
+            gemm_parallel(&mut c, &a, &b);
+        }));
     }
 
     // The end-to-end threaded runtime (matching `kernels.rs/threaded_runtime`).
@@ -183,7 +213,11 @@ pub fn measure_all() -> Vec<Measurement> {
                 .expect("runtime succeeds")
                 .blocks_moved
         });
-        out.push(Measurement::timed("session_reuse/run_holm_6x6x8_q20", ns));
+        // Worker-side pack count: one pack per received B block (per
+        // k-step per resident column), not one per block update.
+        out.push(Measurement::timed("session_reuse/run_holm_6x6x8_q20", ns).with_packs(|| {
+            session.run_holm(&a, &b, c0.clone()).expect("runtime succeeds");
+        }));
         session.shutdown();
     }
 
@@ -226,8 +260,12 @@ pub fn to_json(measurements: &[Measurement], label: &str) -> String {
             Some(g) => format!(", \"gflops\": {g:.2}"),
             None => String::new(),
         };
+        let packs = match m.packs_per_iter {
+            Some(p) => format!(", \"packs_per_iter\": {p:.0}"),
+            None => String::new(),
+        };
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}{gflops}}}{comma}\n",
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}{gflops}{packs}}}{comma}\n",
             m.name, m.ns_per_iter
         ));
     }
@@ -236,21 +274,33 @@ pub fn to_json(measurements: &[Measurement], label: &str) -> String {
 }
 
 /// Parse the document written by [`to_json`] (line-oriented; this is not a
-/// general JSON parser and only reads its own output format).
+/// general JSON parser and only reads its own output format, including
+/// documents from before the optional `gflops`/`packs_per_iter` fields).
 pub fn from_json(doc: &str) -> Vec<Measurement> {
+    /// Split `"<number>[, rest…]"` into the number and whatever follows.
+    fn field(rest: &str) -> (f64, &str) {
+        let end = rest.find(", \"").unwrap_or(rest.len());
+        let num = rest[..end].trim_end_matches(['}', ',', ' ']);
+        (num.parse::<f64>().unwrap_or(f64::NAN), &rest[end..])
+    }
     let mut out = Vec::new();
     for line in doc.lines() {
         let line = line.trim();
         let Some(rest) = line.strip_prefix("{\"name\": \"") else { continue };
         let Some((name, rest)) = rest.split_once("\", \"ns_per_iter\": ") else { continue };
-        let (num, rest) = match rest.split_once(", \"gflops\": ") {
-            Some((num, g)) => (num, Some(g)),
-            None => (rest.trim_end_matches(['}', ',', ' ']), None),
-        };
-        let gflops = rest.and_then(|g| g.trim_end_matches(['}', ',', ' ']).parse::<f64>().ok());
-        if let Ok(ns) = num.parse::<f64>() {
-            out.push(Measurement { name: name.to_string(), ns_per_iter: ns, gflops });
+        let (ns, rest) = field(rest);
+        if ns.is_nan() {
+            continue;
         }
+        let gflops = rest
+            .split_once("\"gflops\": ")
+            .map(|(_, g)| field(g).0)
+            .filter(|g| !g.is_nan());
+        let packs_per_iter = rest
+            .split_once("\"packs_per_iter\": ")
+            .map(|(_, p)| field(p).0)
+            .filter(|p| !p.is_nan());
+        out.push(Measurement { name: name.to_string(), ns_per_iter: ns, gflops, packs_per_iter });
     }
     out
 }
@@ -262,8 +312,10 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let ms = vec![
-            Measurement { name: "a/b".into(), ns_per_iter: 1234.5, gflops: None },
-            Measurement { name: "c".into(), ns_per_iter: 7.0, gflops: Some(26.25) },
+            Measurement { name: "a/b".into(), ns_per_iter: 1234.5, gflops: None, packs_per_iter: None },
+            Measurement { name: "c".into(), ns_per_iter: 7.0, gflops: Some(26.25), packs_per_iter: None },
+            Measurement { name: "d".into(), ns_per_iter: 9.5, gflops: Some(1.25), packs_per_iter: Some(36.0) },
+            Measurement { name: "e".into(), ns_per_iter: 2.0, gflops: None, packs_per_iter: Some(7.0) },
         ];
         let doc = to_json(&ms, "test");
         let back = from_json(&doc);
@@ -278,6 +330,17 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].name, "gemm_acc/q80");
         assert_eq!(back[0].gflops, None);
+        assert_eq!(back[0].packs_per_iter, None);
+    }
+
+    #[test]
+    fn parses_pre_packs_documents() {
+        // Recorded after gflops but before packs_per_iter existed.
+        let doc = "    {\"name\": \"block_kernel/q80\", \"ns_per_iter\": 28759.0, \"gflops\": 35.60},\n";
+        let back = from_json(doc);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].gflops, Some(35.6));
+        assert_eq!(back[0].packs_per_iter, None);
     }
 
     #[test]

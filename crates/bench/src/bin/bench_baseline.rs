@@ -12,10 +12,14 @@
 //! `X`× the baseline, so CI can fail on perf regressions instead of
 //! merely printing them.
 //! Block-kernel workloads also report GFLOP/s (2q³ FLOPs per update), so
-//! kernel throughput is tracked directly rather than inferred from time.
+//! kernel throughput is tracked directly rather than inferred from time,
+//! and pack-counting workloads report B packs per iteration, so repack
+//! elimination is visible as a stat rather than inferred from the timing.
 //!
 //! Measurements run whatever kernel the dispatcher selects; force a
-//! specific one with `MWP_KERNEL=scalar|avx2` to compare code paths.
+//! specific one with `MWP_KERNEL=scalar|avx2` to compare code paths, and
+//! `MWP_PACK=off` to A/B the prepacked-reuse paths against per-call
+//! packing on the same build.
 
 use mwp_bench::baseline::{from_json, measure_all, session_speedups, to_json, Measurement};
 
@@ -54,13 +58,10 @@ fn main() {
         "--write" => {
             let ms = measure_all();
             for m in &ms {
-                match m.gflops {
-                    Some(g) => println!(
-                        "{:<28} {:>14.1} ns/iter {:>8.2} GFLOP/s",
-                        m.name, m.ns_per_iter, g
-                    ),
-                    None => println!("{:<28} {:>14.1} ns/iter", m.name, m.ns_per_iter),
-                }
+                let gflops = m.gflops.map_or(String::new(), |g| format!(" {g:>8.2} GFLOP/s"));
+                let packs =
+                    m.packs_per_iter.map_or(String::new(), |p| format!(" {p:>6.0} packs"));
+                println!("{:<28} {:>14.1} ns/iter{gflops}{packs}", m.name, m.ns_per_iter);
             }
             print_session_speedups(&ms);
             let doc = to_json(&ms, "pre-optimization baseline");
@@ -74,16 +75,25 @@ fn main() {
             assert!(!baseline.is_empty(), "no benchmarks parsed from {path}");
             let current = measure_all();
             println!(
-                "{:<28} {:>14} {:>14} {:>9} {:>9}",
-                "workload", "baseline ns", "current ns", "speedup", "GFLOP/s"
+                "{:<28} {:>14} {:>14} {:>9} {:>9} {:>7}",
+                "workload", "baseline ns", "current ns", "speedup", "GFLOP/s", "packs"
             );
             let mut worst: f64 = f64::INFINITY;
             let mut compared = 0usize;
             for c in &current {
-                let gflops = c.gflops.map_or(String::new(), |g| format!("{g:9.2}"));
-                let Some(b) = baseline.iter().find(|b| b.name == c.name) else {
+                let gflops = c.gflops.map_or_else(|| " ".repeat(9), |g| format!("{g:9.2}"));
+                let recorded = baseline.iter().find(|b| b.name == c.name);
+                // Show the pack count as "baseline->current" when the
+                // recorded file has one, so repack elimination reads
+                // directly off the comparison.
+                let packs = match (recorded.and_then(|b| b.packs_per_iter), c.packs_per_iter) {
+                    (Some(b), Some(p)) if b != p => format!("{b:.0}->{p:.0}"),
+                    (_, Some(p)) => format!("{p:7.0}"),
+                    (_, None) => String::new(),
+                };
+                let Some(b) = recorded else {
                     println!(
-                        "{:<28} {:>14} {:>14.1} {:>9} {gflops}",
+                        "{:<28} {:>14} {:>14.1} {:>9} {gflops} {packs}",
                         c.name, "-", c.ns_per_iter, "new"
                     );
                     continue;
@@ -92,7 +102,7 @@ fn main() {
                 worst = worst.min(speedup);
                 compared += 1;
                 println!(
-                    "{:<28} {:>14.1} {:>14.1} {:>8.2}x {gflops}",
+                    "{:<28} {:>14.1} {:>14.1} {:>8.2}x {gflops} {packs}",
                     c.name, b.ns_per_iter, c.ns_per_iter, speedup
                 );
             }

@@ -1,6 +1,6 @@
 //! A single `q × q` block of matrix coefficients.
 
-use crate::kernel::{self, Kernel};
+use crate::kernel::{self, Kernel, PackedB};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -97,6 +97,26 @@ impl Block {
         assert_eq!(a.q, q, "A side must match C");
         assert_eq!(b.q, q, "B side must match C");
         kernel.gemm_acc(&mut self.data, &a.data, &b.data, q, q, q, 1.0);
+    }
+
+    /// Pack this block as a reusable B operand for `kernel` (`alpha = 1`,
+    /// the block-update case), reusing `dst`'s buffer. See
+    /// [`crate::kernel::PackedB`] for the invalidation contract: the pack
+    /// is a snapshot, so repack after mutating this block.
+    pub fn pack_b_for(&self, kernel: &Kernel, dst: &mut PackedB) {
+        kernel.pack_into(dst, &self.data, self.q, self.q, 1.0);
+    }
+
+    /// The block update `self += a · b` with a prepacked B operand (from
+    /// [`Block::pack_b_for`]) — bit-identical to [`Block::gemm_acc_with`]
+    /// on the same data, minus the per-call `O(q²)` repack. This is the
+    /// form for loops that stream many A blocks against one resident B.
+    pub fn gemm_acc_prepacked(&mut self, kernel: &Kernel, a: &Block, b: &PackedB) {
+        let q = self.q;
+        assert_eq!(a.q, q, "A side must match C");
+        assert_eq!((b.k(), b.n()), (q, q), "packed B side must match C");
+        assert_eq!(b.alpha(), 1.0, "block updates are packed with alpha = 1");
+        kernel.gemm_acc_packed(&mut self.data, &a.data, b, q);
     }
 
     /// Reference (naive triple-loop) block update — the documented test

@@ -1,13 +1,15 @@
 //! Register-blocked AVX2/FMA microkernel: a 4×8 C tile held in eight YMM
-//! accumulators, FMA-updated from packed B panels.
+//! accumulators, FMA-updated from cache-blocked packed B panels.
 //!
 //! Shape of the computation (`C (m×n) += A (m×k) · B_packed`):
 //!
-//! * B is repacked into [`NR`]-wide panels ([`super::pack`]), `alpha`
-//!   folded in, tail panel zero-padded.
-//! * The i-loop walks 4-row stripes of A and C; for each stripe every
-//!   panel is streamed once, so one packed panel serves the whole stripe
-//!   and the pack cost amortizes over the i-loop.
+//! * B is packed into the Goto-style blocked layout of [`super::pack`]
+//!   (`alpha` folded in, tail panels zero-padded): [`NC`]-column blocks
+//!   of [`KC`]-deep strips of [`NR`]-wide k-major panels.
+//! * The macro loop walks column blocks, then kc strips, then 4-row A/C
+//!   stripes, then panels: one `4 × KC` A stripe and one `KC × NR` panel
+//!   share L1, while the full packed strip stays L2-resident across the
+//!   whole i loop — so q ≫ 200 no longer falls off the L2 cliff.
 //! * The microkernel keeps the full `MR × NR` C tile in registers: 8
 //!   accumulators + 2 B vectors + 1 broadcast = 11 of 16 YMM registers.
 //!   Each k iteration issues 8 FMAs over 8 independent accumulator
@@ -16,9 +18,15 @@
 //!   1–3; column tails (`n % 8`) run it on a stack scratch tile whose
 //!   live columns are copied in and out around the call.
 //!
-//! Accumulation order over `k` is increasing, exactly like the scalar
-//! kernel; results differ from scalar only by FMA's unrounded multiplies,
-//! within `k · ‖A‖ · ‖B‖ · ε` elementwise.
+//! Accumulation order over `k` is increasing for every C element — kc
+//! strips are visited in increasing k order and the store/reload of the C
+//! tile between strips is exact — so results are bit-identical to the
+//! PR 2 single-pass panel loop, and differ from the scalar kernel only by
+//! FMA's unrounded multiplies, within `k · ‖A‖ · ‖B‖ · ε` elementwise.
+//!
+//! The per-call entry ([`gemm_acc`]) is literally "pack, then run the
+//! packed macrokernel" on a thread-local buffer; prepacked reuse enters
+//! at [`gemm_acc_packed`] with a caller-owned [`super::PackedB`] buffer.
 //!
 //! # Safety
 //! Everything here requires AVX2 + FMA at runtime. The only safe route in
@@ -30,9 +38,11 @@ use std::arch::x86::*;
 #[cfg(target_arch = "x86_64")]
 use std::arch::x86_64::*;
 
-use super::pack::{pack_b, with_pack_buf, MR, NR};
+use super::pack::{kc_for, pack_b, packed_len, with_pack_buf, MR, NC, NR};
 
-/// Dispatch-table entry: `C += alpha · A · B` via the packed microkernel.
+/// Dispatch-table entry: `C += alpha · A · B`, packing B into the
+/// thread-local buffer and running the packed macrokernel — the
+/// pack-per-call path every [`gemm_acc_packed`] caller avoids repeating.
 ///
 /// # Safety
 /// The CPU must support AVX2 and FMA (guaranteed by `dispatch` before
@@ -55,46 +65,82 @@ pub(super) unsafe fn gemm_acc(
     })
 }
 
-/// The stripe/panel loop over the packed B buffer.
+/// Dispatch-table entry for the prepacked path: `C += A · bp` where `bp`
+/// is a blocked pack produced by this kernel (`alpha` already folded in
+/// at pack time, so the trailing parameter is unused here).
+///
+/// # Safety
+/// Same CPU requirement as [`gemm_acc`]; `bp` must be a buffer this
+/// kernel's pack routine produced for a `k × n` B (checked by
+/// [`super::Kernel::gemm_acc_packed`] via the pack identity), and `c`/`a`
+/// must have the advertised `m·n` / `m·k` lengths.
+pub(super) unsafe fn gemm_acc_packed(
+    c: &mut [f64],
+    a: &[f64],
+    bp: &[f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    _alpha_folded_at_pack: f64,
+) {
+    // SAFETY: forwarded caller guarantees.
+    unsafe { gemm_packed(c, a, bp, m, n, k) }
+}
+
+/// The blocked macro loop over a packed B buffer: column blocks → kc
+/// strips → 4-row stripes → panels, microkernel innermost.
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn gemm_packed(c: &mut [f64], a: &[f64], bp: &[f64], m: usize, n: usize, k: usize) {
-    let panel_stride = k * NR;
-    let mut i0 = 0;
-    while i0 < m {
-        let mr = MR.min(m - i0);
-        let a_stripe = a.as_ptr().add(i0 * k);
-        let mut j0 = 0;
-        let mut panel = bp.as_ptr();
-        while j0 < n {
-            let nr = NR.min(n - j0);
-            if nr == NR {
-                // Full-width tile: accumulate straight into C.
-                let c_tile = c.as_mut_ptr().add(i0 * n + j0);
-                microkernel_rows(mr, c_tile, n, a_stripe, k, panel);
-            } else {
-                // Column tail: stage the live columns through a scratch
-                // tile so the kernel always sees an NR-wide C.
-                let mut tile = [0.0f64; MR * NR];
-                for r in 0..mr {
-                    std::ptr::copy_nonoverlapping(
-                        c.as_ptr().add((i0 + r) * n + j0),
-                        tile.as_mut_ptr().add(r * NR),
-                        nr,
-                    );
+    debug_assert_eq!(bp.len(), packed_len(k, n));
+    let kc = kc_for(k, n);
+    let mut block_base = 0;
+    for j0c in (0..n).step_by(NC) {
+        let ncb = NC.min(n - j0c);
+        let panels = ncb.div_ceil(NR);
+        for k0c in (0..k).step_by(kc) {
+            let kcb = kc.min(k - k0c);
+            // Strips of this block are laid out back to back, each
+            // `panels · NR` wide: strip `k0c` starts `panels·NR·k0c` in.
+            let strip = bp.as_ptr().add(block_base + panels * NR * k0c);
+            let mut i0 = 0;
+            while i0 < m {
+                let mr = MR.min(m - i0);
+                let a_stripe = a.as_ptr().add(i0 * k + k0c);
+                for p in 0..panels {
+                    let j0 = j0c + p * NR;
+                    let nr = NR.min(n - j0);
+                    let panel = strip.add(p * kcb * NR);
+                    if nr == NR {
+                        // Full-width tile: accumulate straight into C.
+                        let c_tile = c.as_mut_ptr().add(i0 * n + j0);
+                        microkernel_rows(mr, c_tile, n, a_stripe, k, kcb, panel);
+                    } else {
+                        // Column tail: stage the live columns through a
+                        // scratch tile so the kernel always sees an
+                        // NR-wide C. Exact loads/stores, so the staging
+                        // never perturbs the accumulation.
+                        let mut tile = [0.0f64; MR * NR];
+                        for r in 0..mr {
+                            std::ptr::copy_nonoverlapping(
+                                c.as_ptr().add((i0 + r) * n + j0),
+                                tile.as_mut_ptr().add(r * NR),
+                                nr,
+                            );
+                        }
+                        microkernel_rows(mr, tile.as_mut_ptr(), NR, a_stripe, k, kcb, panel);
+                        for r in 0..mr {
+                            std::ptr::copy_nonoverlapping(
+                                tile.as_ptr().add(r * NR),
+                                c.as_mut_ptr().add((i0 + r) * n + j0),
+                                nr,
+                            );
+                        }
+                    }
                 }
-                microkernel_rows(mr, tile.as_mut_ptr(), NR, a_stripe, k, panel);
-                for r in 0..mr {
-                    std::ptr::copy_nonoverlapping(
-                        tile.as_ptr().add(r * NR),
-                        c.as_mut_ptr().add((i0 + r) * n + j0),
-                        nr,
-                    );
-                }
+                i0 += MR;
             }
-            j0 += NR;
-            panel = panel.add(panel_stride);
         }
-        i0 += MR;
+        block_base += panels * NR * k;
     }
 }
 
@@ -107,26 +153,29 @@ unsafe fn microkernel_rows(
     ldc: usize,
     a: *const f64,
     lda: usize,
+    kc: usize,
     panel: *const f64,
-    // `lda` doubles as the k extent: A rows are exactly k long.
 ) {
     match mr {
-        4 => microkernel::<4>(c, ldc, a, lda, panel),
-        3 => microkernel::<3>(c, ldc, a, lda, panel),
-        2 => microkernel::<2>(c, ldc, a, lda, panel),
-        1 => microkernel::<1>(c, ldc, a, lda, panel),
+        4 => microkernel::<4>(c, ldc, a, lda, kc, panel),
+        3 => microkernel::<3>(c, ldc, a, lda, kc, panel),
+        2 => microkernel::<2>(c, ldc, a, lda, kc, panel),
+        1 => microkernel::<1>(c, ldc, a, lda, kc, panel),
         _ => unreachable!("stripe height is 1..=MR"),
     }
 }
 
-/// The register tile: `C[0..R][0..8] += A[0..R][0..k] · panel`, with the
-/// `R × 8` C tile resident in `2R` YMM accumulators for the whole k loop.
+/// The register tile: `C[0..R][0..8] += A[0..R][0..kc] · panel`, with the
+/// `R × 8` C tile resident in `2R` YMM accumulators for the whole strip.
+/// `a` points at the stripe's first element of this kc strip; rows are
+/// `lda` apart and `kc` elements of each row are consumed.
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn microkernel<const R: usize>(
     c: *mut f64,
     ldc: usize,
     a: *const f64,
-    k: usize,
+    lda: usize,
+    kc: usize,
     panel: *const f64,
 ) {
     let mut lo = [_mm256_setzero_pd(); R];
@@ -135,11 +184,11 @@ unsafe fn microkernel<const R: usize>(
         lo[r] = _mm256_loadu_pd(c.add(r * ldc));
         hi[r] = _mm256_loadu_pd(c.add(r * ldc + 4));
     }
-    for kk in 0..k {
+    for kk in 0..kc {
         let b_lo = _mm256_loadu_pd(panel.add(kk * NR));
         let b_hi = _mm256_loadu_pd(panel.add(kk * NR + 4));
         for r in 0..R {
-            let av = _mm256_broadcast_sd(&*a.add(r * k + kk));
+            let av = _mm256_broadcast_sd(&*a.add(r * lda + kk));
             lo[r] = _mm256_fmadd_pd(av, b_lo, lo[r]);
             hi[r] = _mm256_fmadd_pd(av, b_hi, hi[r]);
         }

@@ -7,16 +7,36 @@
 //! Selection order:
 //! 1. `MWP_KERNEL=scalar|avx2` forces a kernel (a forced kernel the CPU
 //!    cannot run is a hard error — a silent fallback would make "tested
-//!    the SIMD path" a lie on machines without it);
+//!    the SIMD path" a lie on machines without it; an unknown name is a
+//!    hard error listing the valid names);
 //! 2. otherwise the fastest kernel the CPU supports wins (AVX2+FMA when
 //!    detected, scalar everywhere else).
+//!
+//! A second switch, `MWP_PACK=on|off` (default on), gates *prepacked
+//! reuse*: with `off`, every layer that would pack a B operand once and
+//! reuse it ([`crate::gemm::gemm_serial`], the runtime workers, …) falls
+//! back to packing inside each `gemm_acc` call instead — the PR 2
+//! behavior — so the repack-elimination win can be A/B-timed on one
+//! build. The kernel and the results are identical either way.
 
+use super::packed::PackedB;
 use std::sync::OnceLock;
 
 /// Raw kernel entry: `C (m×n) += alpha · A (m×k) · B (k×n)`, row-major
 /// contiguous. Unsafe because the AVX2 entry requires CPU support the
 /// dispatcher establishes; shape checking is done by [`Kernel::gemm_acc`].
 type GemmAccRaw = unsafe fn(&mut [f64], &[f64], &[f64], usize, usize, usize, f64);
+
+/// Raw pack entry: fill the buffer with this kernel's private packed
+/// image of `alpha · B (k×n)`. Safe — packing is plain data movement.
+type PackBRaw = fn(&[f64], usize, usize, f64, &mut Vec<f64>);
+
+/// Raw prepacked entry: `C (m×n) += A (m×k) · bp` where `bp` is this
+/// kernel's packed image (the trailing `alpha` is the recorded value,
+/// for kernels that apply it at consume time rather than at pack time).
+/// Unsafe for the same reason as [`GemmAccRaw`], plus the layout trust:
+/// `bp` must have been produced by this kernel's pack entry for `k × n`.
+type GemmAccPackedRaw = unsafe fn(&mut [f64], &[f64], &[f64], usize, usize, usize, f64);
 
 /// One entry of the dispatch table.
 ///
@@ -28,6 +48,8 @@ type GemmAccRaw = unsafe fn(&mut [f64], &[f64], &[f64], usize, usize, usize, f64
 pub struct Kernel {
     name: &'static str,
     gemm_acc: GemmAccRaw,
+    pack_b: PackBRaw,
+    gemm_acc_packed: GemmAccPackedRaw,
 }
 
 impl Kernel {
@@ -39,6 +61,13 @@ impl Kernel {
 
     /// `C (m×n) += alpha · A (m×k) · B (k×n)`, row-major contiguous
     /// (`ldc = n`, `lda = k`, `ldb = n`). `alpha` is exact for `±1.0`.
+    ///
+    /// Packs B internally on every call. Loops that stream several A
+    /// operands against one B should [`Kernel::pack_into`] once and call
+    /// [`Kernel::gemm_acc_packed`] instead.
+    // The three-operand + three-extent + alpha signature is the BLAS gemm
+    // contract; bundling it into a struct would only move the arguments.
+    #[allow(clippy::too_many_arguments)]
     #[inline]
     pub fn gemm_acc(
         &self,
@@ -57,6 +86,44 @@ impl Kernel {
         // this Kernel was handed out (see module docs).
         unsafe { (self.gemm_acc)(c, a, b, m, n, k, alpha) }
     }
+
+    /// Pack `alpha · b` (`k × n`, row-major) into `dst`, reusing `dst`'s
+    /// buffer and stamping its identity (this kernel, the shape, `alpha`).
+    /// The packed layout is private to this kernel; see [`PackedB`] for
+    /// the ownership / invalidation contract.
+    pub fn pack_into(&self, dst: &mut PackedB, b: &[f64], k: usize, n: usize, alpha: f64) {
+        assert_eq!(b.len(), k * n, "B must be k×n");
+        (self.pack_b)(b, k, n, alpha, dst.buf_mut());
+        dst.set_identity(self.name, k, n, alpha);
+    }
+
+    /// `C (m×n) += alpha · A (m×k) · B` where B (and its `alpha`) were
+    /// packed once with [`Kernel::pack_into`] — the reuse path that makes
+    /// streaming many A operands against one B cost a single pack.
+    ///
+    /// Bit-identical to [`Kernel::gemm_acc`] on the same operands: same
+    /// microkernel, same per-element k-accumulation order.
+    ///
+    /// # Panics
+    /// If `bp` was packed by a different kernel (the layouts are not
+    /// interchangeable) or the shapes do not conform.
+    #[inline]
+    pub fn gemm_acc_packed(&self, c: &mut [f64], a: &[f64], bp: &PackedB, m: usize) {
+        assert_eq!(
+            bp.packed_by(),
+            Some(self.name),
+            "PackedB was packed by {:?}, consumed through '{}'",
+            bp.packed_by(),
+            self.name
+        );
+        let (k, n) = (bp.k(), bp.n());
+        assert_eq!(c.len(), m * n, "C must be m×n");
+        assert_eq!(a.len(), m * k, "A must be m×k");
+        // SAFETY: shapes checked; the pack identity proves `bp`'s buffer
+        // holds this kernel's layout for k × n; CPU support established
+        // when this Kernel was handed out.
+        unsafe { (self.gemm_acc_packed)(c, a, bp.buf(), m, n, k, bp.alpha()) }
+    }
 }
 
 impl std::fmt::Debug for Kernel {
@@ -65,10 +132,27 @@ impl std::fmt::Debug for Kernel {
     }
 }
 
-static SCALAR: Kernel = Kernel { name: "scalar", gemm_acc: super::scalar::gemm_acc };
+static SCALAR: Kernel = Kernel {
+    name: "scalar",
+    gemm_acc: super::scalar::gemm_acc,
+    pack_b: super::scalar::pack_b,
+    gemm_acc_packed: super::scalar::gemm_acc_packed,
+};
 
 #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
-static AVX2: Kernel = Kernel { name: "avx2", gemm_acc: super::avx2::gemm_acc };
+static AVX2: Kernel = Kernel {
+    name: "avx2",
+    gemm_acc: super::avx2::gemm_acc,
+    pack_b: super::pack::pack_b,
+    gemm_acc_packed: super::avx2::gemm_acc_packed,
+};
+
+/// Every kernel name compiled into this build (whether or not this CPU
+/// can run it) — the list `MWP_KERNEL` errors cite.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+const KERNEL_NAMES: &[&str] = &["scalar", "avx2"];
+#[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+const KERNEL_NAMES: &[&str] = &["scalar"];
 
 static ACTIVE: OnceLock<&'static Kernel> = OnceLock::new();
 
@@ -77,7 +161,7 @@ static ACTIVE: OnceLock<&'static Kernel> = OnceLock::new();
 /// load per call.
 #[inline]
 pub fn active() -> &'static Kernel {
-    *ACTIVE.get_or_init(|| match std::env::var("MWP_KERNEL") {
+    ACTIVE.get_or_init(|| match std::env::var("MWP_KERNEL") {
         // `MWP_KERNEL=` (empty) means "no override", like unset — this is
         // what a CI matrix leg with an empty value produces.
         Ok(name) if name.is_empty() => default_kernel(),
@@ -87,15 +171,33 @@ pub fn active() -> &'static Kernel {
     })
 }
 
+static PREPACK: OnceLock<bool> = OnceLock::new();
+
+/// Whether the prepacked-reuse paths are enabled (the default). With
+/// `MWP_PACK=off` every layer falls back to per-call packing — the
+/// escape hatch for A/B-timing repack elimination on a single build.
+/// Resolved once per process, like [`active`].
+#[inline]
+pub fn prepack_enabled() -> bool {
+    *PREPACK.get_or_init(|| match std::env::var("MWP_PACK") {
+        Err(_) => true,
+        Ok(v) if v.is_empty() || v == "on" => true,
+        Ok(v) if v == "off" => false,
+        Ok(v) => panic!("MWP_PACK: unknown value '{v}' (valid: on, off)"),
+    })
+}
+
 /// Look a kernel up by `MWP_KERNEL` name, verifying the CPU can run it.
 pub fn by_name(name: &str) -> Result<&'static Kernel, String> {
     match name {
         "scalar" => Ok(&SCALAR),
         #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         "avx2" if avx2_supported() => Ok(&AVX2),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
         "avx2" => Err("kernel 'avx2' forced but this CPU lacks AVX2+FMA".into()),
         other => Err(format!(
-            "unknown kernel '{other}' (valid: scalar, avx2)"
+            "unknown kernel '{other}' (valid: {})",
+            KERNEL_NAMES.join(", ")
         )),
     }
 }
@@ -135,9 +237,12 @@ mod tests {
     }
 
     #[test]
-    fn unknown_kernel_is_rejected() {
+    fn unknown_kernel_error_lists_the_valid_names() {
         let err = by_name("sse9").unwrap_err();
         assert!(err.contains("unknown kernel"), "got: {err}");
+        for name in KERNEL_NAMES {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
     }
 
     #[test]
@@ -150,6 +255,13 @@ mod tests {
     }
 
     #[test]
+    fn prepack_mode_is_cached() {
+        // Whatever MWP_PACK says (the CI legs exercise both values), the
+        // resolution must be stable across calls.
+        assert_eq!(prepack_enabled(), prepack_enabled());
+    }
+
+    #[test]
     fn shape_mismatch_panics() {
         let k = by_name("scalar").unwrap();
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -157,5 +269,17 @@ mod tests {
             k.gemm_acc(&mut c, &[1.0; 4], &[1.0; 3], 2, 2, 2, 1.0);
         }));
         assert!(res.is_err(), "B of wrong length must be rejected");
+    }
+
+    #[test]
+    fn packed_shape_mismatch_panics() {
+        let k = by_name("scalar").unwrap();
+        let mut bp = crate::kernel::PackedB::new();
+        k.pack_into(&mut bp, &[1.0; 6], 2, 3, 1.0);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c = vec![0.0; 4]; // m·n would be 2·3 = 6
+            k.gemm_acc_packed(&mut c, &[1.0; 4], &bp, 2);
+        }));
+        assert!(res.is_err(), "C of wrong length must be rejected");
     }
 }

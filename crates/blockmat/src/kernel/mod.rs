@@ -11,11 +11,15 @@
 //!   the pre-dispatch `Block::gemm_acc`), always available, and the
 //!   fallback on every target.
 //! * [`avx2`] — a register-blocked 4×8 microkernel written with
-//!   `std::arch` AVX2/FMA intrinsics over a packed B-panel layout
-//!   ([`pack`]), selected at runtime when the CPU supports it.
+//!   `std::arch` AVX2/FMA intrinsics over a cache-blocked packed B-panel
+//!   layout ([`pack`]), selected at runtime when the CPU supports it.
 //! * [`dispatch`] — the `OnceLock`-cached selection: CPU features are
 //!   detected exactly once per process, and the choice can be forced with
-//!   `MWP_KERNEL=scalar|avx2` for testing either path.
+//!   `MWP_KERNEL=scalar|avx2` for testing either path (an unknown name is
+//!   rejected with the valid list).
+//! * [`PackedB`] — a first-class, reusable packed B operand, so callers
+//!   that stream many A operands against one B pay the `O(k·n)` pack cost
+//!   once instead of once per `gemm_acc` call.
 //!
 //! The kernel contract is a rectangular row-major accumulation
 //! `C (m×n) += alpha · A (m×k) · B (k×n)` with contiguous storage
@@ -25,13 +29,38 @@
 //! (`±1.0` in every in-tree call site), so sign flips never perturb the
 //! result.
 //!
+//! # The `PackedB` ownership / invalidation contract
+//!
+//! [`Kernel::pack_into`] fills a caller-owned [`PackedB`] with the
+//! kernel's private packed image of `alpha · B` and stamps its identity
+//! (kernel name, `k × n` shape, `alpha`). From then on:
+//!
+//! * the pack is a **snapshot** — it does not watch the source B. The
+//!   caller repacks when the source data, the desired `alpha`, or the
+//!   kernel changes (the runtimes repack exactly when a resident B block
+//!   is overwritten by the next step's row);
+//! * the buffer is **recycled, never re-zeroed wholesale** — each pack
+//!   rewrites every slot including tail-panel zero padding, so a smaller
+//!   pack after a larger one is safe (pinned by proptest);
+//! * consuming a pack through a **different kernel panics** — layouts are
+//!   kernel-private ([`pack`]'s blocked panels for AVX2, a verbatim
+//!   row-major copy for scalar) and not interchangeable;
+//! * [`Kernel::gemm_acc_packed`] is **bit-identical** to
+//!   [`Kernel::gemm_acc`] on the same operands: same microkernel, same
+//!   per-element k-accumulation order — `gemm_acc` *is* "pack into a
+//!   thread-local, then run the packed path" on the AVX2 side.
+//!
+//! `MWP_PACK=off` ([`prepack_enabled`]) forces every prepacking layer
+//! back to per-call packing for A/B timing; results are unchanged.
+//!
 //! Numerical contract: every kernel computes each C element as a sum over
-//! `k` in increasing order, so results agree within
-//! `k · ‖A‖ · ‖B‖ · ε` elementwise; the scalar kernel reproduces the
-//! historical `gemm_acc` bit for bit, while the AVX2 kernel differs only
-//! by FMA's unrounded multiplies. [`Block::gemm_acc_naive`] (the plain
-//! triple loop) is the documented test oracle all kernels are verified
-//! against — the optimized paths never verify themselves.
+//! `k` in increasing order — the kc-strip macro loop preserves this, as
+//! the C tile store/reload between strips is exact — so results agree
+//! within `k · ‖A‖ · ‖B‖ · ε` elementwise; the scalar kernel reproduces
+//! the historical `gemm_acc` bit for bit, while the AVX2 kernel differs
+//! only by FMA's unrounded multiplies. [`Block::gemm_acc_naive`] (the
+//! plain triple loop) is the documented test oracle all kernels are
+//! verified against — the optimized paths never verify themselves.
 //!
 //! [`Block::gemm_acc_naive`]: crate::Block::gemm_acc_naive
 
@@ -39,9 +68,12 @@
 pub(crate) mod avx2;
 pub mod dispatch;
 pub(crate) mod pack;
+pub(crate) mod packed;
 pub(crate) mod scalar;
 
-pub use dispatch::{active, available, by_name, Kernel};
+pub use dispatch::{active, available, by_name, prepack_enabled, Kernel};
+pub use pack::pack_count;
+pub use packed::PackedB;
 
 #[cfg(test)]
 mod tests {
@@ -99,6 +131,46 @@ mod tests {
                 assert!(
                     max_abs_diff(&c, &want) <= tol(q, &a, &b),
                     "kernel {} diverges from the naive oracle at q = {q}",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_kernel_matches_oracle_past_the_strip_and_block_thresholds() {
+        // The cache-blocked macro loop changes shape at two thresholds:
+        // kc stripping (a full-k strip of the widest column block over
+        // the L2 budget: k ≳ 252 at n ≥ 520) and NC-block splitting
+        // (n > 512). The tail-size tests above never cross either, so
+        // pin the stripped / multi-block *compute* (not just the pack
+        // layout) against the naive oracle — and against the prepacked
+        // entry, which must stay bit-identical.
+        for kernel in available() {
+            for (m, n, k) in [
+                (9usize, 520usize, 260usize), // multi-strip (kc = KC)
+                (3, 525, 5),                  // multi-block (n > NC), tail panel
+                (5, 530, 270),                // both, with row + column tails
+            ] {
+                let a = seeded(m * k, 31);
+                let b = seeded(k * n, 32);
+                let mut c = seeded(m * n, 33);
+                let mut prepacked = c.clone();
+                let mut want = c.clone();
+                kernel.gemm_acc(&mut c, &a, &b, m, n, k, 1.0);
+                naive(&mut want, &a, &b, m, n, k, 1.0);
+                assert!(
+                    max_abs_diff(&c, &want) <= tol(k, &a, &b),
+                    "kernel {} diverges from the oracle at {m}x{n}x{k}",
+                    kernel.name()
+                );
+                let mut bp = PackedB::new();
+                kernel.pack_into(&mut bp, &b, k, n, 1.0);
+                kernel.gemm_acc_packed(&mut prepacked, &a, &bp, m);
+                assert_eq!(
+                    c,
+                    prepacked,
+                    "kernel {}: prepacked diverges from per-call at {m}x{n}x{k}",
                     kernel.name()
                 );
             }

@@ -14,7 +14,7 @@
 //! minors — e.g. diagonally dominant matrices, which
 //! [`crate::fill::random_diagonally_dominant`] generates.
 
-use crate::kernel::{self, Kernel};
+use crate::kernel::{self, Kernel, PackedB};
 use crate::matrix::BlockMatrix;
 
 /// Minimal dense row-major matrix used by the LU kernels.
@@ -104,6 +104,25 @@ impl Dense {
         assert_eq!(self.rows, a.rows, "row dimensions");
         assert_eq!(self.cols, b.cols, "col dimensions");
         kernel.gemm_acc(&mut self.data, &a.data, &b.data, a.rows, b.cols, a.cols, -1.0);
+    }
+
+    /// Pack this matrix as the B operand of [`Dense::sub_mul_prepacked`]
+    /// (`alpha = −1`, the rank-µ-update case), reusing `dst`'s buffer.
+    pub fn pack_sub_mul_for(&self, kernel: &Kernel, dst: &mut PackedB) {
+        kernel.pack_into(dst, &self.data, self.rows, self.cols, -1.0);
+    }
+
+    /// `self ← self − a · b` with `b` prepacked by
+    /// [`Dense::pack_sub_mul_for`] — bit-identical to
+    /// [`Dense::sub_mul_with`] on the same data, minus the per-call
+    /// repack. The LU worker packs the step's horizontal panel once and
+    /// streams every core row group of the step against it.
+    pub fn sub_mul_prepacked(&mut self, kernel: &Kernel, a: &Dense, b: &PackedB) {
+        assert_eq!(a.cols, b.k(), "inner dimensions");
+        assert_eq!(self.rows, a.rows, "row dimensions");
+        assert_eq!(self.cols, b.n(), "col dimensions");
+        assert_eq!(b.alpha(), -1.0, "sub_mul operands are packed with alpha = -1");
+        kernel.gemm_acc_packed(&mut self.data, &a.data, b, a.rows);
     }
 
     /// Plain product `a · b` through the dispatched kernel.

@@ -28,13 +28,40 @@ use crate::chunks::{self, Chunk};
 use crate::selection::homogeneous::select_homogeneous;
 use crate::session::{with_session, RuntimeSession};
 use bytes::Bytes;
+use mwp_blockmat::kernel::PackedB;
 use mwp_blockmat::{Block, BlockMatrix, SharedPayloads};
 use mwp_msg::session::{RunExit, RUN_BEGIN, RUN_END};
 use mwp_msg::{Frame, FrameKind, Tag, WorkerEndpoint};
 use mwp_platform::{Platform, WorkerId};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::time::Instant;
+
+/// One-multiply mixer for the worker maps' small-integer keys (block
+/// rows / columns): the default SipHash costs more than the whole map
+/// operation on the per-A-block hot path. Fibonacci multiplicative
+/// hashing spreads dense low keys across the high bits the hash table
+/// reads, which is all these maps need.
+#[derive(Default)]
+struct BlockIndexHasher(u64);
+
+impl Hasher for BlockIndexHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("block-index maps hash usize keys only");
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.0 = (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// `HashMap` keyed by a block row/column index, with the cheap mixer.
+type BlockIndexMap<V> = HashMap<usize, V, BuildHasherDefault<BlockIndexHasher>>;
 
 /// Outcome of a runtime execution.
 #[derive(Debug)]
@@ -195,7 +222,7 @@ pub(crate) fn holm_on(
         //    demand into pooled buffers — each C block still moves exactly
         //    once per run).
         for &(wid, ch) in &assignment {
-            send_c_rows(&master, wid, &c, ch, &cpool);
+            send_c_rows(master, wid, &c, ch, &cpool);
         }
         // 2. Stream the shared dimension from the payload caches: per
         //    step, one zero-copy B-row frame and one zero-copy A-column
@@ -218,7 +245,7 @@ pub(crate) fn holm_on(
         //    (no per-result allocation).
         for &(wid, ch) in &assignment {
             master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-            recv_c_rows(&master, wid, &mut c, ch, q);
+            recv_c_rows(master, wid, &mut c, ch, q);
         }
     }
 
@@ -353,7 +380,7 @@ pub(crate) fn heterogeneous_on(
             let Some(ch) = cut_chunk(wi, mu[wi], &mut groups, &mut next_col) else {
                 continue; // grid exhausted: surplus selections are no-ops
             };
-            send_c_rows(&master, wid, &c, &ch, &cpool);
+            send_c_rows(master, wid, &c, &ch, &cpool);
             active[wi] = Some((ch, 0));
         }
         let (ch, k) = active[wi].expect("just assigned");
@@ -373,7 +400,7 @@ pub(crate) fn heterogeneous_on(
         if k + 1 == t {
             // Chunk complete: fetch it back.
             master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-            recv_c_rows(&master, wid, &mut c, &ch, q);
+            recv_c_rows(master, wid, &mut c, &ch, q);
             active[wi] = None;
         } else {
             active[wi] = Some((ch, k + 1));
@@ -382,8 +409,8 @@ pub(crate) fn heterogeneous_on(
 
     // Selection stopped (its column-based termination test), possibly
     // mid-chunk: stream the remaining steps of every unfinished chunk.
-    for wi in 0..platform.len() {
-        let Some((ch, k0)) = active[wi] else { continue };
+    for (wi, slot) in active.iter_mut().enumerate() {
+        let Some((ch, k0)) = slot.take() else { continue };
         let wid = mwp_platform::WorkerId(wi);
         for k in k0..t {
             master.send(
@@ -398,8 +425,7 @@ pub(crate) fn heterogeneous_on(
             );
         }
         master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-        recv_c_rows(&master, wid, &mut c, &ch, q);
-        active[wi] = None;
+        recv_c_rows(master, wid, &mut c, &ch, q);
     }
 
     // The selection loop may terminate before the ragged tail of the grid
@@ -421,7 +447,7 @@ pub(crate) fn heterogeneous_on(
         };
         let wid = mwp_platform::WorkerId(wi);
         turn += 1;
-        send_c_rows(&master, wid, &c, &ch, &cpool);
+        send_c_rows(master, wid, &c, &ch, &cpool);
         for k in 0..t {
             master.send(
                 wid,
@@ -435,7 +461,7 @@ pub(crate) fn heterogeneous_on(
             );
         }
         master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-        recv_c_rows(&master, wid, &mut c, &ch, q);
+        recv_c_rows(master, wid, &mut c, &ch, q);
         served.insert(wi);
     }
 
@@ -496,19 +522,33 @@ fn recv_c_rows(
     }
 }
 
+/// A resident B block together with its prepacked image: packed once
+/// when the block arrives (or is overwritten by the next step's row) and
+/// reused by every A block that streams against it — the worker-side
+/// repack elimination. With `MWP_PACK=off` the pack stays cleared and
+/// updates run the per-call-pack kernel path instead.
+struct ResidentB {
+    block: Block,
+    pack: PackedB,
+}
+
 /// Per-worker state that survives across a session's runs: recycled block
-/// storage and the chunk/row maps, so a pooled worker serving its second
-/// run re-allocates nothing (as long as the block side is unchanged — a
-/// run with a different `q` resets the scratch in place).
+/// storage, the chunk/row maps, and the B pack buffers, so a pooled
+/// worker serving its second run re-allocates nothing (as long as the
+/// block side is unchanged — a run with a different `q` resets the block
+/// scratch in place; pack buffers are shape-agnostic and stay warm across
+/// any `q` change).
 pub(crate) struct WorkerState {
     /// Block side the scratch storage is sized for (0 = not yet sized).
     q: usize,
     /// Resident C chunk, indexed by block row: c_rows[i] = [(j, block)].
-    c_rows: HashMap<usize, Vec<(usize, Block)>>,
-    /// The current B row, indexed by block column.
-    b_row: HashMap<usize, Block>,
+    c_rows: BlockIndexMap<Vec<(usize, Block)>>,
+    /// The current B row (block + prepack), indexed by block column.
+    b_row: BlockIndexMap<ResidentB>,
     /// Recycled block storage (scratch, not resident data).
     spare: Vec<Block>,
+    /// Recycled pack buffers (high-water capacity kept across runs).
+    spare_packs: Vec<PackedB>,
     /// The single in-flight A block.
     a_scratch: Block,
 }
@@ -517,26 +557,36 @@ impl WorkerState {
     pub(crate) fn new() -> Self {
         WorkerState {
             q: 0,
-            c_rows: HashMap::new(),
-            b_row: HashMap::new(),
+            c_rows: BlockIndexMap::default(),
+            b_row: BlockIndexMap::default(),
             spare: Vec::new(),
-            // Placeholder until the first run declares its block side.
+            spare_packs: Vec::new(),
             a_scratch: Block::zeros(1),
+            // a_scratch is a placeholder until the first run declares its
+            // block side.
         }
     }
 
     /// Prepare for a run with block side `q`: keep the warmed-up scratch
-    /// when the side matches, rebuild it in place when it does not. The
-    /// chunk/row maps are drained by the end-of-run protocol, but a
-    /// defensive clear keeps an aborted run from leaking into the next.
+    /// when the side matches, rebuild it in place when it does not (pack
+    /// buffers survive either way — a pack rewrites its buffer to any
+    /// shape). The chunk/row maps are drained by the end-of-run protocol,
+    /// but a defensive clear keeps an aborted run from leaking into the
+    /// next.
     fn reset_for(&mut self, q: usize) {
-        if self.q != q {
+        let side_changed = self.q != q;
+        if side_changed {
             self.q = q;
             self.spare.clear();
             self.a_scratch = Block::zeros(q);
         }
         self.c_rows.clear();
-        self.b_row.clear();
+        for (_, resident) in self.b_row.drain() {
+            if !side_changed {
+                self.spare.push(resident.block);
+            }
+            self.spare_packs.push(resident.pack);
+        }
     }
 }
 
@@ -555,17 +605,26 @@ impl WorkerState {
 /// from returned chunks and retired `B` rows, surviving across runs), the
 /// in-flight `A` block lives in one reused scratch, and result payloads
 /// are built in the endpoint's buffer pool.
+///
+/// Each resident B block is **packed once on arrival** and the pack is
+/// reused by every A block of the step (the paper keeps B resident on the
+/// worker precisely so A can stream against it — repacking per update was
+/// pure waste). Pack buffers are recycled alongside the scratch blocks,
+/// so a pooled session keeps them warm across runs. `MWP_PACK=off`
+/// disables the prepack (per-call packing, for A/B timing).
 pub(crate) fn serve_run(
     ep: &WorkerEndpoint,
     q: usize,
     memory_cap: usize,
     state: &mut WorkerState,
 ) -> RunExit {
-    // The block-update kernel, resolved per run from the cached dispatch
-    // table — block updates in the loop below never touch dispatch again.
+    // The block-update kernel and prepack mode, resolved per run from the
+    // cached dispatch table — block updates in the loop below never touch
+    // dispatch again.
     let kernel = mwp_blockmat::kernel::active();
+    let prepack = mwp_blockmat::kernel::prepack_enabled();
     state.reset_for(q);
-    let WorkerState { c_rows, b_row, spare, a_scratch, .. } = state;
+    let WorkerState { c_rows, b_row, spare, spare_packs, a_scratch, .. } = state;
     let mut c_count = 0usize;
     let bb = q * q * 8;
     loop {
@@ -587,15 +646,30 @@ pub(crate) fn serve_run(
             FrameKind::BlockB => {
                 // A run of B row blocks for columns j0, j0+1, …; the step
                 // index k is implicit in FIFO order (each run overwrites
-                // the previous step's row).
+                // the previous step's row). Every overwrite invalidates
+                // the old pack, so the block is repacked here, exactly
+                // once per arrival, and reused by all of this step's A
+                // blocks.
                 let j0 = frame.tag.j as usize;
                 for (w, part) in frame.payload.chunks_exact(bb).enumerate() {
                     match b_row.entry(j0 + w) {
-                        Entry::Occupied(mut e) => e.get_mut().copy_from_bytes(part),
+                        Entry::Occupied(mut e) => {
+                            let resident = e.get_mut();
+                            resident.block.copy_from_bytes(part);
+                            if prepack {
+                                resident.block.pack_b_for(kernel, &mut resident.pack);
+                            }
+                        }
                         Entry::Vacant(v) => {
                             let mut blk = spare.pop().unwrap_or_else(|| Block::zeros(q));
                             blk.copy_from_bytes(part);
-                            v.insert(blk);
+                            let mut pack = spare_packs.pop().unwrap_or_default();
+                            if prepack {
+                                blk.pack_b_for(kernel, &mut pack);
+                            } else {
+                                pack.clear();
+                            }
+                            v.insert(ResidentB { block: blk, pack });
                         }
                     }
                 }
@@ -609,10 +683,14 @@ pub(crate) fn serve_run(
                     let Some(row) = c_rows.get_mut(&(i0 + w)) else { continue };
                     a_scratch.copy_from_bytes(part);
                     for (cj, c_block) in row.iter_mut() {
-                        let b_block = b_row
+                        let resident = b_row
                             .get(cj)
                             .expect("B row must arrive before the A column (FIFO)");
-                        c_block.gemm_acc_with(kernel, a_scratch, b_block);
+                        if prepack {
+                            c_block.gemm_acc_prepacked(kernel, a_scratch, &resident.pack);
+                        } else {
+                            c_block.gemm_acc_with(kernel, a_scratch, &resident.block);
+                        }
                     }
                 }
             }
@@ -650,7 +728,10 @@ pub(crate) fn serve_run(
                     c_count -= row.len();
                     spare.extend(row.into_iter().map(|(_, blk)| blk));
                 }
-                spare.extend(b_row.drain().map(|(_, blk)| blk));
+                for (_, resident) in b_row.drain() {
+                    spare.push(resident.block);
+                    spare_packs.push(resident.pack);
+                }
             }
             FrameKind::Shutdown => return RunExit::Terminate,
             FrameKind::CResult | FrameKind::LuPanel => {

@@ -5,8 +5,10 @@
 //! platform description and then serves any number of HoLM / ORROML /
 //! heterogeneous runs, each delimited by the message layer's
 //! `RUN_BEGIN`/`RUN_END` frames (see [`mwp_msg::session`]). Worker state
-//! — recycled scratch blocks, chunk storage, payload buffer pools —
-//! resets in place between runs, so a repeated-run workload pays the
+//! — recycled scratch blocks, chunk storage, payload buffer pools, and
+//! the resident-B pack buffers ([`mwp_blockmat::kernel::PackedB`], which
+//! are shape-agnostic and stay warm even when `q` changes between runs)
+//! — resets in place between runs, so a repeated-run workload pays the
 //! thread spawn/join and allocation warm-up cost exactly once:
 //!
 //! ```

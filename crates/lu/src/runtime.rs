@@ -7,14 +7,18 @@
 //! arithmetic, verified against the serial blocked factorization.
 //!
 //! The message layer moves self-describing dense sub-matrices (a tiny
-//! `rows × cols` header before the coefficients). The step's vertical
-//! panel — common to every core update — is encoded once and fanned out
-//! to the enrolled workers as refcounted views of one buffer
-//! (`OP_SET_VERT`); each worker keeps it resident for the step, matching
-//! the paper's accounting, and core-group tasks then carry only their own
-//! column group. All payloads are built in recycled buffer pools, so the
-//! steady-state message path allocates nothing. The simulation in
-//! [`crate::homogeneous`] models the paper's exact volumes.
+//! `rows × cols` header before the coefficients). The step's horizontal
+//! panel — the B operand of every core update — is encoded once and
+//! fanned out to the enrolled workers as refcounted views of one buffer
+//! (`OP_SET_HORIZ`); each worker keeps it resident for the step **and
+//! packs it once** for the dispatched kernel, so the rank-µ updates of
+//! all its row groups stream against one prepacked panel instead of
+//! repacking per core task. Core-group tasks then carry only their own
+//! rows of the vertical panel and of the core. All payloads are built in
+//! recycled buffer pools, so the steady-state message path allocates
+//! nothing. The simulation in [`crate::homogeneous`] models the paper's
+//! exact volumes (the core is square, so row groups move exactly the
+//! bytes column groups did).
 //!
 //! Worker threads live in a persistent [`LuSession`]: spawned once per
 //! platform, parked on blocking receives between runs. [`run_lu`] keeps
@@ -22,6 +26,7 @@
 //! pooled one under `MWP_RUNTIME=session`); repeated-factorization
 //! workloads should hold an [`LuSession`] and call [`LuSession::run`].
 
+use mwp_blockmat::kernel::PackedB;
 use mwp_blockmat::lu::{lu_factor_in_place, trsm_left_unit_lower, trsm_right_upper, Dense};
 use mwp_blockmat::BlockMatrix;
 use mwp_msg::session::{run_with_mode, RunExit, Session, SessionPool, RUN_END};
@@ -34,11 +39,12 @@ const OP_FACTOR: usize = 0;
 const OP_TRSM_RIGHT: usize = 1;
 const OP_TRSM_LEFT: usize = 2;
 const OP_CORE: usize = 3;
-/// Install the step's vertical panel in the worker's resident state. The
-/// panel is encoded **once** per step and fanned out to every enrolled
-/// worker as refcounted views of the same buffer, instead of being
-/// re-encoded into every core-update message.
-const OP_SET_VERT: usize = 4;
+/// Install the step's horizontal panel in the worker's resident state.
+/// The panel is encoded **once** per step and fanned out to every
+/// enrolled worker as refcounted views of the same buffer, instead of
+/// being re-encoded into every core-update message — and the worker
+/// packs it once per step for the kernel, instead of once per core task.
+const OP_SET_HORIZ: usize = 4;
 
 /// Outcome of a threaded LU run.
 #[derive(Debug)]
@@ -70,7 +76,11 @@ impl LuSession {
     /// (0 = off), exactly as in [`run_lu`].
     pub fn new(platform: &Platform, time_scale: f64) -> Self {
         let inner = Session::spawn(platform, time_scale, |_, _| {
-            |_q: u32, ep: &WorkerEndpoint| serve_lu_run(ep)
+            // The horizontal-panel pack buffer lives in the worker
+            // closure, outside the per-run loop, so a pooled session
+            // keeps its high-water capacity warm across runs.
+            let mut horiz_pack = PackedB::new();
+            move |_q: u32, ep: &WorkerEndpoint| serve_lu_run(ep, &mut horiz_pack)
         });
         LuSession { inner, platform: platform.clone() }
     }
@@ -159,62 +169,67 @@ fn lu_on(session: &LuSession, matrix: &BlockMatrix, mu_blocks: usize) -> LuRunOu
         let k1 = (k0 + nb).min(n);
         // --- 1. Pivot factorization on worker 0. ------------------------
         let pivot_in = a.submatrix(k0, k1, k0, k1);
-        send_task(&master, &pool, WorkerId(0), OP_FACTOR, &[&pivot_in]);
-        let pivot = recv_dense(&master, WorkerId(0));
+        send_task(master, &pool, WorkerId(0), OP_FACTOR, &[&pivot_in]);
+        let pivot = recv_dense(master, WorkerId(0));
         messages += 2;
         a.set_submatrix(k0, k0, &pivot);
 
         if k1 < n {
             // --- 2. Vertical panel (x ← x·U⁻¹) on worker 0. -------------
             let vert_in = a.submatrix(k1, n, k0, k1);
-            send_task(&master, &pool, WorkerId(0), OP_TRSM_RIGHT, &[&pivot, &vert_in]);
-            let vert = recv_dense(&master, WorkerId(0));
+            send_task(master, &pool, WorkerId(0), OP_TRSM_RIGHT, &[&pivot, &vert_in]);
+            let vert = recv_dense(master, WorkerId(0));
             messages += 2;
             a.set_submatrix(k1, k0, &vert);
 
             // --- 3. Horizontal panel (y ← L⁻¹·y) on worker 0. -----------
             let horiz_in = a.submatrix(k0, k1, k1, n);
-            send_task(&master, &pool, WorkerId(0), OP_TRSM_LEFT, &[&pivot, &horiz_in]);
-            let horiz = recv_dense(&master, WorkerId(0));
+            send_task(master, &pool, WorkerId(0), OP_TRSM_LEFT, &[&pivot, &horiz_in]);
+            let horiz = recv_dense(master, WorkerId(0));
             messages += 2;
             a.set_submatrix(k0, k1, &horiz);
 
-            // --- 4. Core update, column groups round-robin. -------------
+            // --- 4. Core update, row groups round-robin. ----------------
+            // The core is square, so nb-deep row groups are exactly as
+            // many (and as large) as the nb-wide column groups used
+            // before — but partitioning by rows makes the *horizontal*
+            // panel the operand shared by every group, which the worker
+            // packs once per step and reuses across all its groups.
             let mut groups = Vec::new();
-            let mut c0 = k1;
-            while c0 < n {
-                let c1 = (c0 + nb).min(n);
-                groups.push((c0, c1));
-                c0 = c1;
+            let mut r0 = k1;
+            while r0 < n {
+                let r1 = (r0 + nb).min(n);
+                groups.push((r0, r1));
+                r0 = r1;
             }
-            // The vertical panel is common to every core update of this
+            // The horizontal panel is common to every core update of this
             // step: encode it once and fan the same buffer out to each
             // worker that will compute at least one group (a refcount
             // bump per send, zero copies).
-            let vert_payload =
-                pool.bytes_with(parts_len(&[&vert]), |buf| encode_parts_into(&[&vert], buf));
+            let horiz_payload =
+                pool.bytes_with(parts_len(&[&horiz]), |buf| encode_parts_into(&[&horiz], buf));
             for w in 0..enrolled.min(groups.len()) {
                 master.send(
                     WorkerId(w),
-                    Frame::new(Tag::new(FrameKind::LuPanel, OP_SET_VERT, 0), vert_payload.clone()),
+                    Frame::new(Tag::new(FrameKind::LuPanel, OP_SET_HORIZ, 0), horiz_payload.clone()),
                     1,
                 );
                 messages += 1;
             }
             // Ship every group first (parallel compute), then collect.
-            for (g, &(c0, c1)) in groups.iter().enumerate() {
+            for (g, &(r0, r1)) in groups.iter().enumerate() {
                 let to = WorkerId(g % enrolled);
-                let horiz_g = horiz.submatrix(0, k1 - k0, c0 - k1, c1 - k1);
-                let core_g = a.submatrix(k1, n, c0, c1);
-                send_task(&master, &pool, to, OP_CORE, &[&horiz_g, &core_g]);
+                let vert_g = vert.submatrix(r0 - k1, r1 - k1, 0, k1 - k0);
+                let core_g = a.submatrix(r0, r1, k1, n);
+                send_task(master, &pool, to, OP_CORE, &[&vert_g, &core_g]);
                 messages += 1;
             }
-            for (g, &(c0, c1)) in groups.iter().enumerate() {
+            for (g, &(r0, r1)) in groups.iter().enumerate() {
                 let from = WorkerId(g % enrolled);
-                let updated = recv_dense(&master, from);
+                let updated = recv_dense(master, from);
                 messages += 1;
-                debug_assert_eq!(updated.cols(), c1 - c0);
-                a.set_submatrix(k1, c0, &updated);
+                debug_assert_eq!(updated.rows(), r1 - r0);
+                a.set_submatrix(r0, k1, &updated);
             }
         }
         k0 = k1;
@@ -234,18 +249,25 @@ fn lu_on(session: &LuSession, matrix: &BlockMatrix, mu_blocks: usize) -> LuRunOu
 /// kernel, return the result matrix. Parks back into the session's outer
 /// loop on `RUN_END`.
 ///
-/// The worker keeps the step's vertical panel resident (installed by
-/// `OP_SET_VERT`), so core-update messages carry only their own column
-/// group; the panel is per-run state and drops when the run ends. Result
-/// payloads are built in the endpoint's recycled buffer pool — which
-/// lives in the endpoint and therefore stays warm **across** runs — so
-/// the worker allocates nothing per message at steady state beyond the
-/// decoded task matrices themselves.
-fn serve_lu_run(ep: &WorkerEndpoint) -> RunExit {
-    // Resolve the block-update kernel once per run from the cached
-    // dispatch table; every OP_CORE rank-µ update below reuses it.
+/// The worker keeps the step's horizontal panel resident (installed by
+/// `OP_SET_HORIZ`) and **packs it once per rank-µ step** into the
+/// session-lifetime `horiz_pack` buffer, so every core row-group update
+/// of the step reuses one pack instead of repacking per task
+/// (`MWP_PACK=off` falls back to per-call packing). Core-update messages
+/// carry only their own rows of the vertical panel and core; the resident
+/// panel is per-run state and drops when the run ends, while the pack
+/// buffer's capacity stays warm across a session's runs. Result payloads
+/// are built in the endpoint's recycled buffer pool — which lives in the
+/// endpoint and therefore stays warm **across** runs — so the worker
+/// allocates nothing per message at steady state beyond the decoded task
+/// matrices themselves.
+fn serve_lu_run(ep: &WorkerEndpoint, horiz_pack: &mut PackedB) -> RunExit {
+    // Resolve the block-update kernel and prepack mode once per run from
+    // the cached dispatch table; every OP_CORE rank-µ update below reuses
+    // them.
     let kernel = mwp_blockmat::kernel::active();
-    let mut vert: Option<Dense> = None;
+    let prepack = mwp_blockmat::kernel::prepack_enabled();
+    let mut horiz: Option<Dense> = None;
     loop {
         let frame = match ep.recv() {
             Ok(f) => f,
@@ -286,18 +308,29 @@ fn serve_lu_run(ep: &WorkerEndpoint) -> RunExit {
                 trsm_left_unit_lower(&mut panel, &pivot);
                 panel
             }
-            OP_SET_VERT => {
-                vert = Some(parts.into_iter().next().expect("vertical panel"));
+            OP_SET_HORIZ => {
+                let panel = parts.into_iter().next().expect("horizontal panel");
+                // One pack per rank-µ step, consumed by every core row
+                // group of the step (the pack snapshot stays valid until
+                // the next step's install overwrites the panel).
+                if prepack {
+                    panel.pack_sub_mul_for(kernel, horiz_pack);
+                }
+                horiz = Some(panel);
                 continue; // stateful install: nothing to send back
             }
             OP_CORE => {
                 let mut it = parts.into_iter();
-                let horiz_g = it.next().expect("horizontal group");
+                let vert_g = it.next().expect("vertical group");
                 let mut core_g = it.next().expect("core group");
-                let vert = vert
+                let horiz = horiz
                     .as_ref()
-                    .expect("OP_SET_VERT must precede OP_CORE (FIFO order)");
-                core_g.sub_mul_with(kernel, vert, &horiz_g);
+                    .expect("OP_SET_HORIZ must precede OP_CORE (FIFO order)");
+                if prepack {
+                    core_g.sub_mul_prepacked(kernel, &vert_g, horiz_pack);
+                } else {
+                    core_g.sub_mul_with(kernel, &vert_g, horiz);
+                }
                 core_g
             }
             op => unreachable!("unknown LU op {op}"),

@@ -175,17 +175,11 @@ impl Frame {
     pub fn decode_checked(buf: &[u8], q: usize) -> Option<Frame> {
         let (tag, payload_len) = Self::decode_header(buf)?;
         match tag.kind.expected_payload_len(q) {
-            Some(0) => {
-                if payload_len != 0 {
-                    return None;
-                }
+            Some(0) if payload_len != 0 => return None,
+            Some(quantum) if quantum != 0 && (payload_len == 0 || payload_len % quantum != 0) => {
+                return None;
             }
-            Some(quantum) => {
-                if payload_len == 0 || payload_len % quantum != 0 {
-                    return None;
-                }
-            }
-            None => {}
+            _ => {}
         }
         Some(Frame { tag, payload: Bytes::copy_from_slice(&buf[9..]) })
     }

@@ -288,8 +288,12 @@ impl Drop for PoisonOnUnwind<'_> {
 /// platforms should hold its sessions directly (scoping their lifetime)
 /// instead of going through the pooled mode.
 pub struct SessionPool<S> {
-    map: OnceLock<Mutex<HashMap<Vec<u64>, Arc<Mutex<PoolEntry<S>>>>>>,
+    map: OnceLock<Mutex<PoolMap<S>>>,
 }
+
+/// Fingerprint → shared pool entry. The entry is `Arc`ed out of the map
+/// so the (expensive) session build happens outside the map lock.
+type PoolMap<S> = HashMap<Vec<u64>, Arc<Mutex<PoolEntry<S>>>>;
 
 impl<S> SessionPool<S> {
     /// An empty pool (usable in a `static`).
@@ -297,7 +301,7 @@ impl<S> SessionPool<S> {
         SessionPool { map: OnceLock::new() }
     }
 
-    fn map(&self) -> &Mutex<HashMap<Vec<u64>, Arc<Mutex<PoolEntry<S>>>>> {
+    fn map(&self) -> &Mutex<PoolMap<S>> {
         self.map.get_or_init(|| Mutex::new(HashMap::new()))
     }
 

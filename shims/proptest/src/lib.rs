@@ -311,7 +311,7 @@ mod tests {
         #[test]
         fn mapped_strategy_applies(d in doubled()) {
             prop_assert_eq!(d % 2, 0);
-            prop_assert!(d >= 2 && d < 100);
+            prop_assert!((2..100).contains(&d));
         }
 
         #[test]

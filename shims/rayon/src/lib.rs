@@ -68,7 +68,7 @@ pub trait ParallelIterator: Sized {
         F: Fn(Self::Item) + Sync,
         Self::Item: Send,
     {
-        self.map(|x| f(x)).run();
+        self.map(f).run();
     }
 }
 
