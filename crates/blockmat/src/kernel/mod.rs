@@ -7,12 +7,12 @@
 //! that primitive as a small family of interchangeable kernels behind a
 //! runtime-dispatched table:
 //!
-//! * [`scalar`] — the cache-tiled, k-unrolled loop nest (bit-identical to
+//! * `scalar` — the cache-tiled, k-unrolled loop nest (bit-identical to
 //!   the pre-dispatch `Block::gemm_acc`), always available, and the
 //!   fallback on every target.
-//! * [`avx2`] — a register-blocked 4×8 microkernel written with
+//! * `avx2` — a register-blocked 4×8 microkernel written with
 //!   `std::arch` AVX2/FMA intrinsics over a cache-blocked packed B-panel
-//!   layout ([`pack`]), selected at runtime when the CPU supports it.
+//!   layout (`pack`), selected at runtime when the CPU supports it.
 //! * [`dispatch`] — the `OnceLock`-cached selection: CPU features are
 //!   detected exactly once per process, and the choice can be forced with
 //!   `MWP_KERNEL=scalar|avx2` for testing either path (an unknown name is
@@ -43,7 +43,7 @@
 //!   rewrites every slot including tail-panel zero padding, so a smaller
 //!   pack after a larger one is safe (pinned by proptest);
 //! * consuming a pack through a **different kernel panics** — layouts are
-//!   kernel-private ([`pack`]'s blocked panels for AVX2, a verbatim
+//!   kernel-private (`pack`'s blocked panels for AVX2, a verbatim
 //!   row-major copy for scalar) and not interchangeable;
 //! * [`Kernel::gemm_acc_packed`] is **bit-identical** to
 //!   [`Kernel::gemm_acc`] on the same operands: same microkernel, same

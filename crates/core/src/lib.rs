@@ -45,6 +45,7 @@ pub mod algorithms;
 pub mod bounds;
 pub mod chunks;
 pub mod layout;
+pub mod remote;
 pub mod runtime;
 pub mod selection;
 pub mod session;

@@ -38,7 +38,8 @@ use crate::runtime::{heterogeneous_on, holm_on, serve_run, RunOutcome, RuntimeEr
 use crate::selection::incremental::SelectionRule;
 use mwp_blockmat::BlockMatrix;
 use mwp_msg::session::{run_with_mode, RunEpoch, Session, SessionPool};
-use mwp_msg::{MasterEndpoint, WorkerEndpoint};
+use mwp_msg::transport::SERVICE_MATRIX;
+use mwp_msg::{MasterEndpoint, TransportListener, TransportMode, WorkerEndpoint};
 use mwp_platform::Platform;
 
 /// A persistent worker pool serving the paper's matrix-product runtimes.
@@ -51,14 +52,46 @@ impl RuntimeSession {
     /// Spawn the pool: one parked worker thread per platform worker, each
     /// holding its scratch state (and its endpoint's payload buffer pool)
     /// across runs. `time_scale` paces the links (0 = off), exactly as in
-    /// the one-shot entry points.
+    /// the one-shot entry points. The frame transport under the pool
+    /// follows `MWP_TRANSPORT` (in-process channels by default, loopback
+    /// TCP/Unix sockets otherwise — same workers, same programs).
     pub fn new(platform: &Platform, time_scale: f64) -> Self {
-        let inner = Session::spawn(platform, time_scale, |_, params| {
+        Self::with_transport(platform, time_scale, mwp_msg::transport::transport_mode())
+    }
+
+    /// [`RuntimeSession::new`] with an explicit transport, ignoring
+    /// `MWP_TRANSPORT` — how tests cross-validate the channel and socket
+    /// backends bit-for-bit inside one process.
+    pub fn with_transport(platform: &Platform, time_scale: f64, mode: TransportMode) -> Self {
+        let inner = Session::spawn_with_transport(platform, time_scale, mode, |_, params| {
             let memory_cap = params.m;
             let mut state = WorkerState::new();
             move |q: u32, ep: &WorkerEndpoint| serve_run(ep, q as usize, memory_cap, &mut state)
         });
         RuntimeSession { inner, platform: platform.clone() }
+    }
+
+    /// A session whose workers are **remote processes** (`mwp-worker`
+    /// binaries, typically): accepts one enrollment per platform worker
+    /// from `listener` and answers each with its link/memory parameters
+    /// and the matrix-product service id. Runs, statistics, and shutdown
+    /// behave exactly as on a local session — results are bit-identical
+    /// because the remote workers execute the same Algorithm 2 program
+    /// against the same frames.
+    pub fn accept_remote(
+        platform: &Platform,
+        time_scale: f64,
+        listener: &TransportListener,
+    ) -> std::io::Result<Self> {
+        let inner = Session::accept_remote(platform, time_scale, listener, SERVICE_MATRIX)?;
+        Ok(RuntimeSession { inner, platform: platform.clone() })
+    }
+
+    /// Fingerprint bytes each worker presented at enrollment (empty per
+    /// worker on the channel transport; remote workers send a
+    /// self-description the master can log).
+    pub fn worker_fingerprints(&self) -> &[Vec<u8>] {
+        self.inner.worker_fingerprints()
     }
 
     /// The platform this session's links and memory caps were built for.

@@ -29,8 +29,9 @@
 use mwp_blockmat::kernel::PackedB;
 use mwp_blockmat::lu::{lu_factor_in_place, trsm_left_unit_lower, trsm_right_upper, Dense};
 use mwp_blockmat::BlockMatrix;
-use mwp_msg::session::{run_with_mode, RunExit, Session, SessionPool, RUN_END};
-use mwp_msg::{BufferPool, Frame, FrameKind, Tag, WorkerEndpoint};
+use mwp_msg::session::{run_with_mode, serve_worker, RunExit, Session, SessionPool, RUN_END};
+use mwp_msg::transport::SERVICE_LU;
+use mwp_msg::{BufferPool, Frame, FrameKind, Tag, TransportListener, TransportMode, WorkerEndpoint};
 use mwp_platform::{Platform, WorkerId};
 use std::time::Instant;
 
@@ -73,9 +74,17 @@ pub struct LuSession {
 
 impl LuSession {
     /// Spawn the pool for `platform`. `time_scale` paces the links
-    /// (0 = off), exactly as in [`run_lu`].
+    /// (0 = off), exactly as in [`run_lu`]. The frame transport follows
+    /// `MWP_TRANSPORT` (channels by default, loopback sockets otherwise).
     pub fn new(platform: &Platform, time_scale: f64) -> Self {
-        let inner = Session::spawn(platform, time_scale, |_, _| {
+        Self::with_transport(platform, time_scale, mwp_msg::transport::transport_mode())
+    }
+
+    /// [`LuSession::new`] with an explicit transport, ignoring
+    /// `MWP_TRANSPORT` — how tests cross-validate the channel and socket
+    /// backends bit-for-bit inside one process.
+    pub fn with_transport(platform: &Platform, time_scale: f64, mode: TransportMode) -> Self {
+        let inner = Session::spawn_with_transport(platform, time_scale, mode, |_, _| {
             // The horizontal-panel pack buffer lives in the worker
             // closure, outside the per-run loop, so a pooled session
             // keeps its high-water capacity warm across runs.
@@ -83,6 +92,19 @@ impl LuSession {
             move |_q: u32, ep: &WorkerEndpoint| serve_lu_run(ep, &mut horiz_pack)
         });
         LuSession { inner, platform: platform.clone() }
+    }
+
+    /// A session whose workers are **remote processes**: accepts one
+    /// enrollment per platform worker from `listener`, announcing the LU
+    /// service id so each `mwp-worker` runs the LU op server. Driven
+    /// exactly like a local session; results are bit-identical.
+    pub fn accept_remote(
+        platform: &Platform,
+        time_scale: f64,
+        listener: &TransportListener,
+    ) -> std::io::Result<Self> {
+        let inner = Session::accept_remote(platform, time_scale, listener, SERVICE_LU)?;
+        Ok(LuSession { inner, platform: platform.clone() })
     }
 
     /// The platform this session was built for.
@@ -342,6 +364,17 @@ fn serve_lu_run(ep: &WorkerEndpoint, horiz_pack: &mut PackedB) -> RunExit {
             payload,
         ));
     }
+}
+
+/// Serve LU runs on `ep` until the master shuts the session down: the
+/// remote-process counterpart of a pooled [`LuSession`] worker, called by
+/// the `mwp-worker` binary when its enrollment welcome names
+/// [`SERVICE_LU`]. The horizontal-panel pack buffer persists across runs
+/// on the connection, exactly as it does in an in-process session.
+pub fn serve_remote(ep: WorkerEndpoint) {
+    let mut horiz_pack = PackedB::new();
+    let mut program = move |_q: u32, ep: &WorkerEndpoint| serve_lu_run(ep, &mut horiz_pack);
+    serve_worker(ep, &mut program);
 }
 
 fn send_task(

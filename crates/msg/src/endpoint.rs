@@ -115,16 +115,53 @@ impl MasterEndpoint {
     }
 }
 
+/// How a worker endpoint reaches its master: an in-process channel pair,
+/// or the read/write halves of a framed socket (the remote-worker case —
+/// see [`crate::transport`]). The halves sit behind mutexes only to keep
+/// `recv`/`send` on `&self`; a worker drives its endpoint from one
+/// thread, so the locks are never contended.
+enum Route {
+    Channel(WorkerSide),
+    Remote {
+        reader: parking_lot::Mutex<Box<dyn crate::transport::FrameRead>>,
+        writer: parking_lot::Mutex<Box<dyn crate::transport::FrameWrite>>,
+    },
+}
+
 /// One worker's communication handle.
+///
+/// The worker programs (Algorithm 2's block server, the LU op server) are
+/// written against this type only — whether the master is a thread on the
+/// other end of a channel or a process on the other end of a socket is
+/// invisible to them, which is what keeps the two transports
+/// bit-identical: there is exactly one compute path.
 pub struct WorkerEndpoint {
     id: WorkerId,
-    link: WorkerSide,
+    route: Route,
     pool: BufferPool,
 }
 
 impl WorkerEndpoint {
     pub(crate) fn new(id: WorkerId, link: WorkerSide) -> Self {
-        WorkerEndpoint { id, link, pool: BufferPool::new() }
+        WorkerEndpoint { id, route: Route::Channel(link), pool: BufferPool::new() }
+    }
+
+    /// A remote worker's endpoint: frames travel over the framed stream
+    /// halves instead of a channel. Built by [`crate::transport::enroll`]
+    /// after the handshake assigns the id.
+    pub(crate) fn remote(
+        id: WorkerId,
+        reader: Box<dyn crate::transport::FrameRead>,
+        writer: Box<dyn crate::transport::FrameWrite>,
+    ) -> Self {
+        WorkerEndpoint {
+            id,
+            route: Route::Remote {
+                reader: parking_lot::Mutex::new(reader),
+                writer: parking_lot::Mutex::new(writer),
+            },
+            pool: BufferPool::new(),
+        }
     }
 
     /// This worker's id.
@@ -132,15 +169,31 @@ impl WorkerEndpoint {
         self.id
     }
 
-    /// Blocking receive of the next frame from the master.
+    /// Blocking receive of the next frame from the master. On the socket
+    /// route, a clean peer close or a transport error surfaces as the
+    /// same [`RecvError`] a dropped channel produces — worker programs
+    /// treat both as "master gone".
     pub fn recv(&self) -> Result<Frame, RecvError> {
-        self.link.recv()
+        match &self.route {
+            Route::Channel(link) => link.recv(),
+            Route::Remote { reader, .. } => match reader.lock().recv_frame() {
+                Ok(Some(frame)) => Ok(frame),
+                Ok(None) | Err(_) => Err(RecvError),
+            },
+        }
     }
 
     /// Return a result frame to the master. Never blocks for bandwidth —
-    /// the master pays the transfer cost when it pulls the frame.
+    /// the master pays the transfer cost when it pulls the frame. Like
+    /// the channel route's send-to-a-dropped-master, a socket write
+    /// failure is swallowed: the next `recv` will report the dead master.
     pub fn send(&self, frame: Frame) {
-        self.link.send(frame);
+        match &self.route {
+            Route::Channel(link) => link.send(frame),
+            Route::Remote { writer, .. } => {
+                let _ = writer.lock().send_frame(&frame);
+            }
+        }
     }
 
     /// Build a result payload in this endpoint's recycled buffer pool.

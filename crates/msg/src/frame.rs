@@ -137,16 +137,26 @@ impl Frame {
         9 + self.payload.len()
     }
 
-    /// Serialize to a contiguous buffer (header + payload). The runtime
-    /// moves frames through channels without serializing; this exists for
-    /// byte-level tests and potential socket transports.
+    /// Serialize to a contiguous buffer (header + payload). The channel
+    /// transport moves frames without serializing; this is the wire image
+    /// the socket transport (`crate::transport`) frames with a length
+    /// prefix, and what byte-level tests decode.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
-        out.push(self.tag.kind.wire_id());
-        out.extend_from_slice(&self.tag.i.to_le_bytes());
-        out.extend_from_slice(&self.tag.j.to_le_bytes());
+        out.extend_from_slice(&self.encode_header());
         out.extend_from_slice(&self.payload);
         out
+    }
+
+    /// The 9-byte wire header alone (kind + `i` + `j`, little-endian) —
+    /// lets the socket transport write header and payload as two slices
+    /// without assembling a contiguous copy of the payload.
+    pub fn encode_header(&self) -> [u8; 9] {
+        let mut header = [0u8; 9];
+        header[0] = self.tag.kind.wire_id();
+        header[1..5].copy_from_slice(&self.tag.i.to_le_bytes());
+        header[5..9].copy_from_slice(&self.tag.j.to_le_bytes());
+        header
     }
 
     /// Decode a buffer produced by [`Frame::encode`].
@@ -240,6 +250,37 @@ mod tests {
         let mut wire = Frame::shutdown().encode();
         wire[0] = 200; // unknown kind
         assert!(Frame::decode(&wire).is_none());
+    }
+
+    #[test]
+    fn decode_bytes_rejects_truncated_and_garbage_buffers() {
+        // The zero-copy decoder feeds the socket transport, where
+        // truncated buffers and corrupt tags are real inputs — every
+        // malformed shape must be a clean `None`, never a panic or a
+        // mis-sliced payload.
+        assert!(Frame::decode_bytes(Bytes::new()).is_none());
+        let full = Frame::new(Tag::new(FrameKind::BlockB, 1, 2), Bytes::from(vec![5u8; 16])).encode();
+        for cut in 0..9 {
+            assert!(
+                Frame::decode_bytes(Bytes::from(full[..cut].to_vec())).is_none(),
+                "header truncated to {cut} bytes must not decode"
+            );
+        }
+        // Exactly the header, no payload: decodes with an empty payload.
+        let header_only = Frame::decode_bytes(Bytes::from(full[..9].to_vec())).unwrap();
+        assert!(header_only.payload.is_empty());
+        // Every unknown kind byte is rejected.
+        for bad_kind in [7u8, 100, 255] {
+            let mut wire = full.clone();
+            wire[0] = bad_kind;
+            assert!(Frame::decode_bytes(Bytes::from(wire)).is_none(), "kind {bad_kind}");
+        }
+    }
+
+    #[test]
+    fn encode_header_matches_encode_prefix() {
+        let f = Frame::new(Tag::new(FrameKind::LuPanel, 77, 99), Bytes::from(vec![1u8; 10]));
+        assert_eq!(&f.encode()[..9], &f.encode_header());
     }
 
     #[test]

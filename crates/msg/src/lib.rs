@@ -24,7 +24,12 @@
 //! * [`Session`] — a persistent worker pool over the star: worker threads
 //!   spawn once, park on blocking receives between `RUN_BEGIN`/`RUN_END`
 //!   delimited runs, and are shared process-wide through
-//!   [`session::SessionPool`] when `MWP_RUNTIME=session`.
+//!   [`session::SessionPool`] when `MWP_RUNTIME=session`,
+//! * [`transport`] — the socket backend (`MWP_TRANSPORT=tcp|uds`):
+//!   length-prefixed frames over TCP or Unix-domain sockets, so master
+//!   and workers can run as separate processes or hosts — the one-port
+//!   arbiter, pacing, and statistics stay on the master side, and worker
+//!   programs are transport-blind.
 //!
 //! Worker-side receives do **not** take the port — only the master is
 //! port-limited, exactly as in the model (each worker has its own link).
@@ -37,6 +42,7 @@ pub mod pool;
 pub mod port;
 pub mod session;
 pub mod stats;
+pub mod transport;
 
 pub use endpoint::{MasterEndpoint, WorkerEndpoint};
 pub use frame::{Frame, FrameKind, Tag};
@@ -46,3 +52,4 @@ pub use pool::BufferPool;
 pub use port::OnePort;
 pub use session::Session;
 pub use stats::LinkStats;
+pub use transport::{TransportListener, TransportMode};

@@ -229,6 +229,13 @@ impl WorkerSide {
         self.rx.recv()
     }
 
+    /// Disassemble into the raw channel halves, so the socket transport's
+    /// pump threads can own each direction independently (the receiver of
+    /// master→worker frames and the sender of worker→master frames).
+    pub(crate) fn into_channels(self) -> (Receiver<Frame>, Sender<Frame>) {
+        (self.rx, self.tx)
+    }
+
     /// Enqueue a result for the master (un-paced; the master pays on pull).
     pub fn send(&self, frame: Frame) {
         let _ = self.tx.send(frame);

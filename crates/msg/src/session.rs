@@ -31,11 +31,17 @@
 
 use crate::endpoint::{MasterEndpoint, WorkerEndpoint};
 use crate::frame::{Frame, FrameKind, Tag};
+use crate::link::Pacing;
 use crate::net::StarNetwork;
+use crate::port::OnePort;
+use crate::transport::{
+    self, RemoteLink, TransportListener, TransportMode, Welcome, SERVICE_INPROC,
+};
 use bytes::Bytes;
 use mwp_platform::{Platform, WorkerId, WorkerParams};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread;
@@ -84,6 +90,12 @@ pub struct RunEpoch<'s> {
 pub struct Session {
     master: MasterEndpoint,
     handles: Vec<thread::JoinHandle<()>>,
+    /// Socket-transport pump threads (empty on the channel transport),
+    /// joined silently at teardown after the workers.
+    pumps: Vec<thread::JoinHandle<()>>,
+    /// Fingerprint bytes each enrolled connection presented (socket
+    /// transports only; empty per worker on the channel transport).
+    fingerprints: Vec<Vec<u8>>,
     /// Held from `begin_run` to `finish_run` via the [`RunEpoch`].
     run_lock: Mutex<()>,
 }
@@ -94,24 +106,137 @@ impl Session {
     /// calling thread) to build that worker's *program*: the closure that
     /// serves one run's frames and returns how it exited. State captured
     /// by the program persists across runs — that is the point.
-    pub fn spawn<F, P>(platform: &Platform, time_scale: f64, mut factory: F) -> Session
+    ///
+    /// The byte transport under the star is chosen by `MWP_TRANSPORT`
+    /// (see [`transport::transport_mode`]): in-process channels by
+    /// default, or loopback TCP/Unix sockets — same worker threads, same
+    /// programs, but every frame truly crosses the socket stack. Use
+    /// [`Session::spawn_with_transport`] to pick explicitly.
+    pub fn spawn<F, P>(platform: &Platform, time_scale: f64, factory: F) -> Session
     where
         F: FnMut(WorkerId, WorkerParams) -> P,
         P: FnMut(u32, &WorkerEndpoint) -> RunExit + Send + 'static,
     {
-        let (master, workers) = StarNetwork::build(platform, time_scale).into_endpoints();
-        let handles = platform
+        Self::spawn_with_transport(platform, time_scale, transport::transport_mode(), factory)
+    }
+
+    /// [`Session::spawn`] with an explicit [`TransportMode`] (ignoring
+    /// `MWP_TRANSPORT`) — how tests cross-validate the channel and socket
+    /// backends against each other inside one process.
+    pub fn spawn_with_transport<F, P>(
+        platform: &Platform,
+        time_scale: f64,
+        mode: TransportMode,
+        mut factory: F,
+    ) -> Session
+    where
+        F: FnMut(WorkerId, WorkerParams) -> P,
+        P: FnMut(u32, &WorkerEndpoint) -> RunExit + Send + 'static,
+    {
+        match mode {
+            TransportMode::Channel => {
+                let (master, workers) = StarNetwork::build(platform, time_scale).into_endpoints();
+                let handles = platform
+                    .iter()
+                    .zip(workers)
+                    .map(|((id, params), ep)| {
+                        let mut program = factory(id, *params);
+                        thread::Builder::new()
+                            .name(format!("mwp-worker-{}", id.index()))
+                            .spawn(move || worker_loop(ep, &mut program))
+                            .expect("spawn session worker thread")
+                    })
+                    .collect();
+                Session {
+                    master,
+                    handles,
+                    pumps: Vec::new(),
+                    fingerprints: vec![Vec::new(); platform.len()],
+                    run_lock: Mutex::new(()),
+                }
+            }
+            socket_mode => Self::spawn_loopback(platform, time_scale, socket_mode, &mut factory),
+        }
+    }
+
+    /// The loopback-socket star: worker threads live in this process (as
+    /// on the channel transport, so panics still propagate through
+    /// `shutdown`) but each one dials the master's listener and enrolls
+    /// over the wire — every frame of every run crosses a real socket.
+    fn spawn_loopback<F, P>(
+        platform: &Platform,
+        time_scale: f64,
+        mode: TransportMode,
+        factory: &mut F,
+    ) -> Session
+    where
+        F: FnMut(WorkerId, WorkerParams) -> P,
+        P: FnMut(u32, &WorkerEndpoint) -> RunExit + Send + 'static,
+    {
+        let listener = TransportListener::bind(mode).expect("bind loopback listener");
+        let endpoint = listener.endpoint();
+        let fp = fingerprint_bytes(&fingerprint(platform, time_scale));
+        let handles: Vec<_> = platform
             .iter()
-            .zip(workers)
-            .map(|((id, params), ep)| {
+            .map(|(id, params)| {
                 let mut program = factory(id, *params);
+                let endpoint = endpoint.clone();
+                let fp = fp.clone();
                 thread::Builder::new()
                     .name(format!("mwp-worker-{}", id.index()))
-                    .spawn(move || worker_loop(ep, &mut program))
+                    .spawn(move || {
+                        let stream = transport::connect_with_retry(
+                            &endpoint,
+                            std::time::Duration::from_secs(10),
+                        )
+                        .expect("loopback connect");
+                        let (ep, _welcome) =
+                            transport::enroll(stream, Some(id), &fp).expect("loopback enroll");
+                        worker_loop(ep, &mut program)
+                    })
                     .expect("spawn session worker thread")
             })
             .collect();
-        Session { master, handles, run_lock: Mutex::new(()) }
+        let (master, pumps, fingerprints) =
+            accept_star(&listener, platform, time_scale, SERVICE_INPROC, Some(&fp), &handles)
+                .expect("accept loopback workers");
+        Session { master, handles, pumps, fingerprints, run_lock: Mutex::new(()) }
+    }
+
+    /// Build a session whose workers are **remote processes**: accept one
+    /// connection per platform worker from `listener` (each a `mwp-worker`
+    /// process, or any peer speaking the enrollment handshake), assign
+    /// slots in arrival order (or honor a claimed slot), and reply to each
+    /// with its link/memory parameters and `service` — the id telling the
+    /// worker which program to run ([`transport::SERVICE_MATRIX`],
+    /// [`transport::SERVICE_LU`]).
+    ///
+    /// The returned session is driven exactly like a local one: the
+    /// one-port arbiter, pacing, and statistics all live on this side.
+    /// `shutdown` sends every remote worker a shutdown frame; an orderly
+    /// worker process exits on it, which is what terminates the link's
+    /// pump threads.
+    pub fn accept_remote(
+        platform: &Platform,
+        time_scale: f64,
+        listener: &TransportListener,
+        service: u8,
+    ) -> io::Result<Session> {
+        let (master, pumps, fingerprints) =
+            accept_star(listener, platform, time_scale, service, None, &[])?;
+        Ok(Session {
+            master,
+            handles: Vec::new(),
+            pumps,
+            fingerprints,
+            run_lock: Mutex::new(()),
+        })
+    }
+
+    /// The fingerprint bytes each worker presented at enrollment, in slot
+    /// order (empty for channel-transport workers, which never enroll).
+    pub fn worker_fingerprints(&self) -> &[Vec<u8>] {
+        &self.fingerprints
     }
 
     /// The master endpoint (valid for the session's whole lifetime).
@@ -175,6 +300,13 @@ impl Session {
                 Err(_) => {}
             }
         }
+        // Socket transports: the shutdown frames just forwarded end the
+        // out-pumps; the workers closing their sockets (thread return or
+        // remote process exit) ends the in-pumps. Pump panics are never
+        // propagated — they carry no run state.
+        for pump in self.pumps.drain(..) {
+            let _ = pump.join();
+        }
         joined
     }
 }
@@ -186,6 +318,145 @@ impl Drop for Session {
     fn drop(&mut self) {
         self.teardown(false);
     }
+}
+
+/// What [`accept_star`] assembles: the master endpoint over the accepted
+/// links, the links' pump threads, and each slot's enrollment
+/// fingerprint.
+type AcceptedStar = (MasterEndpoint, Vec<thread::JoinHandle<()>>, Vec<Vec<u8>>);
+
+/// Accept enrollments from `listener` until every one of
+/// `platform.len()` slots is filled, wiring each into a [`RemoteLink`]:
+/// the master-facing halves assemble into a [`MasterEndpoint`]
+/// indistinguishable from the channel transport's. Slots are honored
+/// when claimed (loopback worker threads know their id), assigned in
+/// arrival order otherwise (remote processes ask with `CLAIM_ANY`);
+/// `expect_fp`, when given, must match every hello's fingerprint.
+///
+/// A connection that fails enrollment — garbage instead of a hello, an
+/// out-of-range or taken slot claim, a foreign fingerprint, an
+/// oversized handshake frame, or a peer that simply goes silent (its
+/// handshake reads run under [`transport::handshake_timeout`]) — is
+/// **dropped and the loop keeps accepting**: on a network-reachable
+/// listener a stray port scan or held-open health probe must not abort
+/// or park the star's startup. Only a listener-level `accept` failure
+/// aborts — plus, when `watch` is non-empty (the loopback transport), a
+/// watched worker thread dying before its slot fills, which would
+/// otherwise leave this loop waiting for a connection that can never
+/// arrive.
+fn accept_star(
+    listener: &TransportListener,
+    platform: &Platform,
+    time_scale: f64,
+    service: u8,
+    expect_fp: Option<&[u8]>,
+    watch: &[thread::JoinHandle<()>],
+) -> io::Result<AcceptedStar> {
+    let pacing = Pacing { time_scale };
+    let p = platform.len();
+    let mut sides: Vec<Option<crate::link::MasterSide>> = (0..p).map(|_| None).collect();
+    let mut fingerprints = vec![Vec::new(); p];
+    let mut pumps = Vec::with_capacity(2 * p);
+    let mut filled = 0usize;
+    while filled < p {
+        let stream = if watch.is_empty() {
+            listener.accept()?
+        } else {
+            // Interleave accepting with a liveness check on the local
+            // worker threads that are supposed to dial in: if one died
+            // (connect/enroll panic) its slot can never fill, and
+            // blocking forever would turn that failure into a hang.
+            match listener.accept_timeout(std::time::Duration::from_millis(250))? {
+                Some(stream) => stream,
+                None => {
+                    if watch.iter().any(|h| h.is_finished()) {
+                        return Err(io::Error::other(
+                            "a loopback worker thread died before enrolling",
+                        ));
+                    }
+                    continue;
+                }
+            }
+        };
+        // Per-connection enrollment; an Err here condemns only this
+        // connection (dropped on scope exit), never the star. The
+        // handshake runs on the unsplit stream under a read deadline and
+        // the handshake wire-length budget.
+        let enroll_one = || -> io::Result<()> {
+            let mut stream = stream;
+            let peer = stream.peer();
+            stream.set_read_timeout(Some(transport::handshake_timeout()))?;
+            let hello = transport::parse_hello(&transport::expect_frame(
+                stream.recv_frame_capped(transport::MAX_HANDSHAKE_WIRE_LEN)?,
+                "hello",
+            )?)?;
+            let id = match hello.claimed {
+                Some(id) if id.index() < p && sides[id.index()].is_none() => id,
+                Some(id) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{peer} claimed slot {} (out of range or taken)", id.index()),
+                    ));
+                }
+                None => WorkerId(
+                    (0..p).find(|&i| sides[i].is_none()).expect("filled < p: a slot is free"),
+                ),
+            };
+            if let Some(expected) = expect_fp {
+                if hello.fingerprint != expected {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{peer} enrolled with a foreign platform fingerprint"),
+                    ));
+                }
+            }
+            let params = platform.workers()[id.index()];
+            stream.send_frame(&transport::welcome_frame(&Welcome {
+                worker: id,
+                c: params.c,
+                w: params.w,
+                m: params.m as u64,
+                time_scale,
+                service,
+            }))?;
+            // Enrolled: clear the handshake deadline (session workers
+            // park on blocking reads by design) and split into the
+            // link's pump halves.
+            stream.set_read_timeout(None)?;
+            let (reader, writer) = stream.split()?;
+            let link = RemoteLink::attach(reader, writer, params.c, pacing, id);
+            let (side, link_pumps) = link.into_parts();
+            sides[id.index()] = Some(side);
+            fingerprints[id.index()] = hello.fingerprint;
+            pumps.extend(link_pumps);
+            filled += 1;
+            Ok(())
+        };
+        // The failed connection is simply dropped; the next accept may
+        // be the worker that actually belongs here.
+        let _ = enroll_one();
+    }
+    let links = sides.into_iter().map(|s| s.expect("every slot filled")).collect();
+    Ok((MasterEndpoint::new(OnePort::new(), links), pumps, fingerprints))
+}
+
+/// Encode a platform [`fingerprint`] as the byte string the enrollment
+/// hello carries (little-endian `u64`s).
+pub fn fingerprint_bytes(fingerprint: &[u64]) -> Vec<u8> {
+    fingerprint.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Drive a worker endpoint through the session protocol until shutdown:
+/// the public entry point for **remote worker processes** (the
+/// `mwp-worker` binary), identical to the loop the in-process worker
+/// threads run. Parks in `ep.recv()` between runs; each `RUN_BEGIN`
+/// invokes `program` with the run parameter; returns when the master
+/// sends a shutdown frame or the connection/channel closes.
+pub fn serve_worker<P>(ep: WorkerEndpoint, program: &mut P)
+where
+    P: FnMut(u32, &WorkerEndpoint) -> RunExit,
+{
+    worker_loop(ep, program)
 }
 
 /// The outer loop every session worker parks in: wait (blocking, no
@@ -223,16 +494,34 @@ pub enum RuntimeMode {
     PooledSession,
 }
 
+impl RuntimeMode {
+    /// The names `MWP_RUNTIME` accepts, in documentation order.
+    pub const NAMES: &'static [&'static str] = &["fresh", "session"];
+}
+
+/// Parse an `MWP_RUNTIME` value. Empty means "no override" (fresh spawn).
+/// Unknown values are an error listing the valid names — same contract as
+/// `MWP_KERNEL`, `MWP_PACK`, and `MWP_TRANSPORT`: a typo must never
+/// silently fall back, or the CI matrix leg that sets this would silently
+/// test the wrong runtime.
+pub fn parse_runtime_mode(value: &str) -> Result<RuntimeMode, String> {
+    match value {
+        "" | "fresh" => Ok(RuntimeMode::FreshSpawn),
+        "session" => Ok(RuntimeMode::PooledSession),
+        other => Err(format!(
+            "unknown runtime '{other}' (valid: {})",
+            RuntimeMode::NAMES.join(", ")
+        )),
+    }
+}
+
 /// Reads `MWP_RUNTIME` once per process: `session` forces the pooled
-/// runtime, `fresh`/empty/unset the per-call spawn. Anything else panics —
-/// a typo silently falling back would defeat the CI matrix leg that sets
-/// this.
+/// runtime, `fresh`/empty/unset the per-call spawn. Anything else panics
+/// listing the valid names (see [`parse_runtime_mode`]).
 pub fn runtime_mode() -> RuntimeMode {
     static MODE: OnceLock<RuntimeMode> = OnceLock::new();
     *MODE.get_or_init(|| match std::env::var("MWP_RUNTIME") {
-        Ok(v) if v == "session" => RuntimeMode::PooledSession,
-        Ok(v) if v.is_empty() || v == "fresh" => RuntimeMode::FreshSpawn,
-        Ok(v) => panic!("MWP_RUNTIME={v:?} is not recognized (use \"fresh\" or \"session\")"),
+        Ok(v) => parse_runtime_mode(&v).unwrap_or_else(|e| panic!("MWP_RUNTIME: {e}")),
         Err(_) => RuntimeMode::FreshSpawn,
     })
 }
@@ -512,6 +801,138 @@ mod tests {
         // desynced one.
         assert_eq!(pool.with(&pf, 0.0, build, |s| *s), 2);
         assert_eq!(pool.with(&pf, 0.0, build, |s| *s), 2, "the rebuilt entry is reused");
+    }
+
+    #[test]
+    fn runtime_mode_parser_is_strict() {
+        assert_eq!(parse_runtime_mode(""), Ok(RuntimeMode::FreshSpawn));
+        assert_eq!(parse_runtime_mode("fresh"), Ok(RuntimeMode::FreshSpawn));
+        assert_eq!(parse_runtime_mode("session"), Ok(RuntimeMode::PooledSession));
+        let err = parse_runtime_mode("sesion").unwrap_err();
+        for name in RuntimeMode::NAMES {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+    }
+
+    /// The loopback-socket star must serve the exact same session
+    /// protocol as the channel star: several runs, per-run traffic
+    /// accounting, partial enrollment, orderly shutdown joining every
+    /// worker thread and pump.
+    fn echo_session_over(mode: TransportMode, p: usize) -> Session {
+        let platform = Platform::homogeneous(p, 1.0, 1.0, 8).unwrap();
+        Session::spawn_with_transport(&platform, 0.0, mode, |_, _| echo_program)
+    }
+
+    #[test]
+    fn loopback_tcp_session_serves_consecutive_runs() {
+        let session = echo_session_over(TransportMode::Tcp, 2);
+        // Every worker enrolled with the platform fingerprint.
+        for fp in session.worker_fingerprints() {
+            assert!(!fp.is_empty(), "loopback workers enroll with a fingerprint");
+        }
+        for run in 0..3u32 {
+            let epoch = session.begin_run(2, run);
+            for w in 0..2 {
+                session.master().send(
+                    WorkerId(w),
+                    Frame::new(Tag::new(FrameKind::BlockA, w, 0), Bytes::from_static(b"x")),
+                    1,
+                );
+            }
+            for w in 0..2 {
+                let (frame, _) = session.master().recv(WorkerId(w), 1).unwrap();
+                assert_eq!(frame.tag.i as usize, w, "frames routed per socket link");
+                assert_eq!(frame.tag.j, run, "program saw this run's parameter");
+            }
+            assert_eq!(session.finish_run(2, epoch), 4);
+        }
+        assert_eq!(session.shutdown(), 2);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn loopback_uds_session_serves_runs() {
+        let session = echo_session_over(TransportMode::Uds, 3);
+        let epoch = session.begin_run(1, 9);
+        session.master().send(
+            WorkerId(0),
+            Frame::new(Tag::new(FrameKind::BlockB, 4, 4), Bytes::from_static(b"y")),
+            1,
+        );
+        let (frame, _) = session.master().recv(WorkerId(0), 1).unwrap();
+        assert_eq!(frame.tag.j, 9);
+        assert_eq!(session.finish_run(1, epoch), 2);
+        // Workers 1 and 2 stayed parked on their sockets; shutdown still
+        // joins all three threads (and all six pumps, silently).
+        assert_eq!(session.shutdown(), 3);
+    }
+
+    #[test]
+    fn loopback_session_drop_without_shutdown_joins_cleanly() {
+        let session = echo_session_over(TransportMode::Tcp, 2);
+        let epoch = session.begin_run(2, 0);
+        session.finish_run(2, epoch);
+        drop(session); // would hang (test timeout) if a pump leaked
+    }
+
+    #[test]
+    fn accept_remote_survives_garbage_and_oversized_connections() {
+        use std::io::Write as _;
+        // A master accepting remote workers on a reachable listener must
+        // shrug off stray connections: a port-scan-style immediate
+        // close, a garbage byte salvo, an adversarial 1 GiB length
+        // prefix, and a held-open silent connection (which must be cut
+        // by the handshake deadline, not park enrollment forever) —
+        // then still enroll the real worker that arrives last.
+        std::env::set_var("MWP_HANDSHAKE_TIMEOUT_MS", "200");
+        let platform = Platform::homogeneous(1, 1.0, 1.0, 8).unwrap();
+        let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+        let endpoint = listener.endpoint();
+        let addr = endpoint.strip_prefix("tcp://").unwrap().to_string();
+        let noise = thread::spawn(move || {
+            // 1: connect and immediately close (health-check probe).
+            drop(std::net::TcpStream::connect(&addr).unwrap());
+            // 2: garbage bytes instead of a hello.
+            let mut s = std::net::TcpStream::connect(&addr).unwrap();
+            s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+            drop(s);
+            // 3: oversized length prefix — must be rejected on the
+            // handshake budget, not allocated.
+            let mut s = std::net::TcpStream::connect(&addr).unwrap();
+            s.write_all(&(1u32 << 30).to_le_bytes()).unwrap();
+            drop(s);
+            // 4: connect, send nothing, and hold the socket open past
+            // the handshake deadline (the head-of-line blocking case).
+            let s = std::net::TcpStream::connect(&addr).unwrap();
+            thread::sleep(std::time::Duration::from_millis(600));
+            drop(s);
+        });
+        let worker = {
+            let endpoint = endpoint.clone();
+            thread::spawn(move || {
+                // Arrive after the noise (best-effort ordering; any
+                // interleaving must still enroll exactly one worker).
+                thread::sleep(std::time::Duration::from_millis(30));
+                let stream = transport::connect(&endpoint).unwrap();
+                let (ep, welcome) = transport::enroll(stream, None, b"real-worker").unwrap();
+                assert_eq!(welcome.worker, WorkerId(0));
+                serve_worker(ep, &mut echo_program);
+            })
+        };
+        let session = Session::accept_remote(&platform, 0.0, &listener, 42).unwrap();
+        assert_eq!(session.worker_fingerprints()[0], b"real-worker".to_vec());
+        let epoch = session.begin_run(1, 5);
+        session.master().send(
+            WorkerId(0),
+            Frame::new(Tag::new(FrameKind::BlockA, 0, 0), Bytes::from_static(b"z")),
+            1,
+        );
+        let (frame, _) = session.master().recv(WorkerId(0), 1).unwrap();
+        assert_eq!(frame.tag.j, 5);
+        assert_eq!(session.finish_run(1, epoch), 2);
+        drop(session); // delivers shutdown: the worker thread exits
+        noise.join().unwrap();
+        worker.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,1088 @@
+//! Socket transport: master and workers as separate processes (or hosts).
+//!
+//! The channel-backed star ([`crate::net::StarNetwork`]) moves [`Frame`]s
+//! through in-process channels. This module grows the message stack a
+//! second backend with the **same master-side semantics**: frames travel
+//! length-prefixed over a TCP or Unix-domain socket, while the one-port
+//! arbiter, link pacing, and per-link statistics all stay on the master
+//! side of the wire, exactly where the paper's model puts them.
+//!
+//! The pieces, bottom to top:
+//!
+//! * **Framing** — [`write_frame_to`] / [`read_frame_from`]: a `u32`
+//!   little-endian length prefix followed by the [`Frame::encode`] image
+//!   (9-byte header + payload). Receives land in recycled
+//!   [`BufferPool`] buffers and are decoded zero-copy with
+//!   [`Frame::decode_bytes`]; adversarial input (truncated streams,
+//!   oversized or undersized length prefixes, unknown frame tags) is
+//!   rejected with an [`std::io::Error`], never a panic.
+//! * **[`FrameRead`] / [`FrameWrite`] / [`FrameStream`]** — the framed
+//!   byte-stream abstraction. [`TcpTransport`] and [`UdsTransport`]
+//!   implement it; a stream splits into independently-owned read and
+//!   write halves so a link can pump both directions concurrently.
+//! * **[`TransportListener`] / [`connect`]** — endpoint management with
+//!   `tcp://host:port` and `uds:/path` address strings.
+//! * **Handshake** — [`Hello`] (worker → master: claimed slot +
+//!   fingerprint bytes) and [`Welcome`] (master → worker: assigned
+//!   [`WorkerId`], the worker's `(c, w, m)` parameters, the pacing scale,
+//!   and the [service id](SERVICE_MATRIX) naming which worker program the
+//!   master expects). Both ride the frame format itself, as `Control`
+//!   frames with reserved sentinels.
+//! * **[`RemoteLink`]** — the master-facing half of a socket link: a
+//!   channel-backed [`MasterSide`] (so [`crate::MasterEndpoint`] is
+//!   byte-for-byte the code the channel transport uses) bridged to the
+//!   socket by two pump threads. The pumps meter nothing — pacing and
+//!   stats happen in the `MasterSide` they feed, so a socket link and a
+//!   channel link are indistinguishable to the runtime above.
+//! * **[`enroll`]** — the worker-process side: connect, say hello, await
+//!   the welcome, and get back a socket-backed [`WorkerEndpoint`] that
+//!   the existing worker programs (`mwp-core`'s Algorithm 2 loop, the LU
+//!   op server) drive unchanged.
+//!
+//! Which backend a [`crate::Session`] wires is selected by
+//! `MWP_TRANSPORT=channel|tcp|uds` (see [`transport_mode`]) or explicitly
+//! via `Session::spawn_with_transport`; out-of-process workers attach via
+//! `Session::accept_remote` + the `mwp-worker` binary.
+
+use crate::endpoint::WorkerEndpoint;
+use crate::frame::{Frame, FrameKind, Tag};
+use crate::link::{Link, MasterSide, Pacing};
+use crate::pool::BufferPool;
+use bytes::Bytes;
+use mwp_platform::WorkerId;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Transport selection
+// ---------------------------------------------------------------------------
+
+/// Which byte transport carries a session's frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// In-process channels (the default): no serialization at all.
+    Channel,
+    /// Loopback/remote TCP sockets, length-prefixed frames.
+    Tcp,
+    /// Unix-domain sockets, same framing as TCP.
+    Uds,
+}
+
+impl TransportMode {
+    /// The names `MWP_TRANSPORT` accepts, in documentation order.
+    pub const NAMES: &'static [&'static str] = &["channel", "tcp", "uds"];
+}
+
+/// Parse an `MWP_TRANSPORT` value. Empty means "no override" (channel).
+/// Unknown values are an error listing the valid names — the same
+/// contract as `MWP_KERNEL`, `MWP_PACK`, and `MWP_RUNTIME`: a typo must
+/// never silently fall back, or a CI matrix leg that sets the variable
+/// would silently test the wrong backend.
+pub fn parse_transport_mode(value: &str) -> Result<TransportMode, String> {
+    match value {
+        "" | "channel" => Ok(TransportMode::Channel),
+        "tcp" => Ok(TransportMode::Tcp),
+        "uds" => Ok(TransportMode::Uds),
+        other => Err(format!(
+            "unknown transport '{other}' (valid: {})",
+            TransportMode::NAMES.join(", ")
+        )),
+    }
+}
+
+/// The process-wide transport mode: `MWP_TRANSPORT` override if set, else
+/// [`TransportMode::Channel`]. Resolved once per process, like the kernel
+/// dispatcher's `MWP_KERNEL`.
+pub fn transport_mode() -> TransportMode {
+    static MODE: OnceLock<TransportMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("MWP_TRANSPORT") {
+        Ok(v) => parse_transport_mode(&v).unwrap_or_else(|e| panic!("MWP_TRANSPORT: {e}")),
+        Err(_) => TransportMode::Channel,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Hard ceiling on one frame's wire length (header + payload). A length
+/// prefix beyond this is treated as stream corruption, not an allocation
+/// request — a garbage prefix must never make the receiver reserve
+/// gigabytes — and an outbound frame beyond it is a send-side error, so
+/// the sender fails fast instead of the receiver blaming corruption.
+pub const MAX_WIRE_LEN: usize = 1 << 30;
+
+/// The much smaller ceiling applied while a connection is still
+/// **unauthenticated** — reading the enrollment hello/welcome, which are
+/// tens of bytes. A pre-enrollment peer must never be able to make the
+/// master reserve [`MAX_WIRE_LEN`]-sized buffers by sending one
+/// adversarial length prefix.
+pub const MAX_HANDSHAKE_WIRE_LEN: usize = 64 * 1024;
+
+/// Wire length of the frame header ([`Frame::encode`]'s fixed prefix).
+const HEADER_LEN: usize = 9;
+
+/// Write `frame` to `w` as `u32 LE wire length` + the [`Frame::encode`]
+/// image, without intermediate allocation: the 13 fixed bytes go out as
+/// one slice, the payload as another (zero-copy from the frame's
+/// [`Bytes`]). A frame beyond [`MAX_WIRE_LEN`] is rejected here, on the
+/// send side, before any byte hits the wire.
+pub fn write_frame_to(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let wire_len = frame.wire_len();
+    if wire_len > MAX_WIRE_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("outbound frame of {wire_len} bytes exceeds the {MAX_WIRE_LEN}-byte cap"),
+        ));
+    }
+    let encoded = frame.encode_header();
+    let mut prefix = [0u8; 4 + HEADER_LEN];
+    prefix[..4].copy_from_slice(&(wire_len as u32).to_le_bytes());
+    prefix[4..].copy_from_slice(&encoded);
+    w.write_all(&prefix)?;
+    if !frame.payload.is_empty() {
+        w.write_all(&frame.payload)?;
+    }
+    w.flush()
+}
+
+/// Read the next frame from `r`: length prefix, then the whole encoded
+/// frame into a recycled buffer from `pool`, decoded zero-copy (the
+/// frame's payload is a refcounted slice of the pooled buffer, which
+/// returns to the pool when the last view drops).
+///
+/// Returns `Ok(None)` on a clean end-of-stream (EOF exactly at a frame
+/// boundary). Everything else that is not a whole, well-formed frame is
+/// an error: EOF mid-prefix or mid-frame (`UnexpectedEof`), a length
+/// prefix shorter than the 9-byte header or larger than `max_wire_len`
+/// ([`MAX_WIRE_LEN`] on enrolled links, [`MAX_HANDSHAKE_WIRE_LEN`]
+/// during the handshake), or an undecodable header (unknown frame kind).
+pub fn read_frame_from(
+    r: &mut impl Read,
+    pool: &BufferPool,
+    max_wire_len: usize,
+) -> io::Result<Option<Frame>> {
+    let mut prefix = [0u8; 4];
+    // EOF before the first prefix byte is a clean close; EOF after it is
+    // a truncated stream. This is the longest-lived blocking read in the
+    // system (a parked worker sits here between runs), so a signal
+    // interrupting it must be retried, not reported as a dead peer.
+    let first = loop {
+        match r.read(&mut prefix[..1]) {
+            Ok(n) => break n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    };
+    if first == 0 {
+        return Ok(None);
+    }
+    r.read_exact(&mut prefix[1..])?;
+    let wire_len = u32::from_le_bytes(prefix) as usize;
+    if wire_len < HEADER_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length prefix {wire_len} is shorter than the {HEADER_LEN}-byte header"),
+        ));
+    }
+    if wire_len > max_wire_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length prefix {wire_len} exceeds the {max_wire_len}-byte cap"),
+        ));
+    }
+    let mut read_result = Ok(());
+    let buf = pool.bytes_with(wire_len, |buf| {
+        buf.resize(wire_len, 0);
+        read_result = r.read_exact(buf);
+    });
+    read_result?;
+    Frame::decode_bytes(buf).map(Some).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "undecodable frame header (unknown kind tag)")
+    })
+}
+
+/// The read half of a framed stream. Blocking; `Ok(None)` is a clean EOF.
+pub trait FrameRead: Send {
+    /// Receive the next frame, or `None` when the peer closed cleanly.
+    fn recv_frame(&mut self) -> io::Result<Option<Frame>>;
+}
+
+/// The write half of a framed stream. Each frame is flushed on send — the
+/// protocol above interleaves small control frames with request/response
+/// rounds, so buffering across frames would only add latency.
+pub trait FrameWrite: Send {
+    /// Send one frame (length-prefixed, flushed).
+    fn send_frame(&mut self, frame: &Frame) -> io::Result<()>;
+}
+
+/// [`FrameRead`] over any byte reader, with a private [`BufferPool`] so
+/// steady-state receives allocate nothing.
+pub struct FramedReader<R: Read + Send> {
+    inner: R,
+    pool: BufferPool,
+}
+
+impl<R: Read + Send> FramedReader<R> {
+    /// Wrap `inner` with a fresh receive-buffer pool.
+    pub fn new(inner: R) -> Self {
+        FramedReader { inner, pool: BufferPool::new() }
+    }
+}
+
+impl<R: Read + Send> FrameRead for FramedReader<R> {
+    fn recv_frame(&mut self) -> io::Result<Option<Frame>> {
+        read_frame_from(&mut self.inner, &self.pool, MAX_WIRE_LEN)
+    }
+}
+
+/// [`FrameWrite`] over any byte writer.
+pub struct FramedWriter<W: Write + Send> {
+    inner: W,
+}
+
+impl<W: Write + Send> FramedWriter<W> {
+    /// Wrap `inner`.
+    pub fn new(inner: W) -> Self {
+        FramedWriter { inner }
+    }
+}
+
+impl<W: Write + Send> FrameWrite for FramedWriter<W> {
+    fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        write_frame_to(&mut self.inner, frame)
+    }
+}
+
+/// A connected, bidirectional framed byte stream that can split into
+/// independently-owned halves (each direction pumped by its own thread).
+///
+/// The whole-stream `send_frame`/`recv_frame_capped`/`set_read_timeout`
+/// surface exists for the **pre-split enrollment handshake**: an
+/// unauthenticated peer's first frames are read on a small wire-length
+/// budget and under a read deadline, so a stray or hostile connection
+/// can neither trigger a large allocation nor park an accept loop
+/// forever. After the handshake the stream splits and the deadline is
+/// cleared — enrolled links block indefinitely, as the session protocol
+/// requires.
+pub trait FrameStream: Send {
+    /// Send one frame on the unsplit stream (handshake use).
+    fn send_frame(&mut self, frame: &Frame) -> io::Result<()>;
+    /// Receive one frame on the unsplit stream, rejecting any wire
+    /// length beyond `max_wire_len` (handshake use).
+    fn recv_frame_capped(&mut self, max_wire_len: usize) -> io::Result<Option<Frame>>;
+    /// Apply (or clear, with `None`) a read deadline to the underlying
+    /// socket. A timed-out read surfaces as an ordinary I/O error.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Split into read and write halves.
+    fn split(self: Box<Self>) -> io::Result<(Box<dyn FrameRead>, Box<dyn FrameWrite>)>;
+    /// Human-readable peer address, for error messages.
+    fn peer(&self) -> String;
+}
+
+/// TCP-backed [`FrameStream`]. `TCP_NODELAY` is set at construction —
+/// the protocol's many small control frames must not sit in Nagle's
+/// buffer behind an ACK.
+pub struct TcpTransport {
+    stream: TcpStream,
+    pool: BufferPool,
+}
+
+impl TcpTransport {
+    /// Wrap a connected stream (sets `TCP_NODELAY`).
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream, pool: BufferPool::new() })
+    }
+}
+
+impl FrameStream for TcpTransport {
+    fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        write_frame_to(&mut self.stream, frame)
+    }
+
+    fn recv_frame_capped(&mut self, max_wire_len: usize) -> io::Result<Option<Frame>> {
+        read_frame_from(&mut self.stream, &self.pool, max_wire_len)
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn split(self: Box<Self>) -> io::Result<(Box<dyn FrameRead>, Box<dyn FrameWrite>)> {
+        let reader = self.stream.try_clone()?;
+        Ok((Box::new(FramedReader::new(reader)), Box::new(FramedWriter::new(self.stream))))
+    }
+
+    fn peer(&self) -> String {
+        match self.stream.peer_addr() {
+            Ok(a) => format!("tcp://{a}"),
+            Err(_) => "tcp://<unknown>".into(),
+        }
+    }
+}
+
+/// Unix-domain-socket-backed [`FrameStream`].
+#[cfg(unix)]
+pub struct UdsTransport {
+    stream: UnixStream,
+    pool: BufferPool,
+}
+
+#[cfg(unix)]
+impl UdsTransport {
+    /// Wrap a connected stream.
+    pub fn new(stream: UnixStream) -> Self {
+        UdsTransport { stream, pool: BufferPool::new() }
+    }
+}
+
+#[cfg(unix)]
+impl FrameStream for UdsTransport {
+    fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        write_frame_to(&mut self.stream, frame)
+    }
+
+    fn recv_frame_capped(&mut self, max_wire_len: usize) -> io::Result<Option<Frame>> {
+        read_frame_from(&mut self.stream, &self.pool, max_wire_len)
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn split(self: Box<Self>) -> io::Result<(Box<dyn FrameRead>, Box<dyn FrameWrite>)> {
+        let reader = self.stream.try_clone()?;
+        Ok((Box::new(FramedReader::new(reader)), Box::new(FramedWriter::new(self.stream))))
+    }
+
+    fn peer(&self) -> String {
+        "uds://<peer>".into()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listeners and dialing
+// ---------------------------------------------------------------------------
+
+/// A listening socket handing out [`FrameStream`] connections. The Unix
+/// variant owns its socket path and unlinks it on drop.
+pub enum TransportListener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener plus the path it is bound to.
+    #[cfg(unix)]
+    Uds {
+        /// The bound listener.
+        listener: UnixListener,
+        /// Socket path, unlinked when the listener drops.
+        path: PathBuf,
+    },
+}
+
+/// Distinguishes concurrently-bound Unix socket paths within one process.
+static UDS_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TransportListener {
+    /// Bind a loopback listener for `mode` ([`TransportMode::Channel`] has
+    /// no listener and is rejected): TCP on `127.0.0.1` with an ephemeral
+    /// port, or a Unix socket under the system temp directory.
+    pub fn bind(mode: TransportMode) -> io::Result<Self> {
+        match mode {
+            TransportMode::Channel => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "the channel transport has no listener",
+            )),
+            TransportMode::Tcp => Ok(TransportListener::Tcp(TcpListener::bind("127.0.0.1:0")?)),
+            #[cfg(unix)]
+            TransportMode::Uds => {
+                let path = std::env::temp_dir().join(format!(
+                    "mwp-{}-{}.sock",
+                    std::process::id(),
+                    UDS_COUNTER.fetch_add(1, Ordering::Relaxed),
+                ));
+                let listener = UnixListener::bind(&path)?;
+                Ok(TransportListener::Uds { listener, path })
+            }
+            #[cfg(not(unix))]
+            TransportMode::Uds => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not available on this platform",
+            )),
+        }
+    }
+
+    /// Bind a TCP listener on an explicit address (e.g. `0.0.0.0:4455`
+    /// for workers on other hosts).
+    pub fn bind_tcp(addr: &str) -> io::Result<Self> {
+        Ok(TransportListener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// The endpoint string workers dial: `tcp://ip:port` or `uds:/path`.
+    pub fn endpoint(&self) -> String {
+        match self {
+            TransportListener::Tcp(l) => match l.local_addr() {
+                Ok(a) => format!("tcp://{a}"),
+                Err(_) => "tcp://<unknown>".into(),
+            },
+            #[cfg(unix)]
+            TransportListener::Uds { path, .. } => format!("uds:{}", path.display()),
+        }
+    }
+
+    /// Accept the next connection (blocking).
+    pub fn accept(&self) -> io::Result<Box<dyn FrameStream>> {
+        match self {
+            TransportListener::Tcp(l) => {
+                l.set_nonblocking(false)?;
+                let (stream, _) = l.accept()?;
+                Ok(Box::new(TcpTransport::new(stream)?))
+            }
+            #[cfg(unix)]
+            TransportListener::Uds { listener, .. } => {
+                listener.set_nonblocking(false)?;
+                let (stream, _) = listener.accept()?;
+                Ok(Box::new(UdsTransport::new(stream)))
+            }
+        }
+    }
+
+    /// Accept with a bound: `Ok(None)` if no connection arrived within
+    /// `timeout`. Lets an accept loop interleave waiting with liveness
+    /// checks (e.g. "did the worker thread that was supposed to dial us
+    /// die?") instead of parking forever.
+    pub fn accept_timeout(&self, timeout: Duration) -> io::Result<Option<Box<dyn FrameStream>>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let pending = match self {
+                TransportListener::Tcp(l) => {
+                    l.set_nonblocking(true)?;
+                    match l.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false)?;
+                            return Ok(Some(Box::new(TcpTransport::new(stream)?)));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => true,
+                        Err(e) => return Err(e),
+                    }
+                }
+                #[cfg(unix)]
+                TransportListener::Uds { listener, .. } => {
+                    listener.set_nonblocking(true)?;
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nonblocking(false)?;
+                            return Ok(Some(Box::new(UdsTransport::new(stream))));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => true,
+                        Err(e) => return Err(e),
+                    }
+                }
+            };
+            debug_assert!(pending);
+            if std::time::Instant::now() >= deadline {
+                return Ok(None);
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for TransportListener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let TransportListener::Uds { path, .. } = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Dial an endpoint string produced by [`TransportListener::endpoint`]:
+/// `tcp://host:port` or `uds:/path/to/socket`.
+pub fn connect(endpoint: &str) -> io::Result<Box<dyn FrameStream>> {
+    if let Some(addr) = endpoint.strip_prefix("tcp://") {
+        return Ok(Box::new(TcpTransport::new(TcpStream::connect(addr)?)?));
+    }
+    #[cfg(unix)]
+    if let Some(path) = endpoint.strip_prefix("uds:") {
+        return Ok(Box::new(UdsTransport::new(UnixStream::connect(path)?)));
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("unrecognized endpoint '{endpoint}' (expected tcp://host:port or uds:/path)"),
+    ))
+}
+
+/// Dial with retries: a worker process racing the master's `bind` retries
+/// **transient** dial failures (`ConnectionRefused`, a not-yet-created
+/// Unix socket path, a reset/aborted accept backlog) until `deadline`
+/// wall time has elapsed. Permanent errors — a malformed endpoint, an
+/// unsupported scheme — fail immediately; retrying them would only burn
+/// the deadline before reporting the same error.
+pub fn connect_with_retry(endpoint: &str, deadline: Duration) -> io::Result<Box<dyn FrameStream>> {
+    let start = std::time::Instant::now();
+    let transient = |kind: io::ErrorKind| {
+        matches!(
+            kind,
+            io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::NotFound
+        )
+    };
+    loop {
+        match connect(endpoint) {
+            Ok(s) => return Ok(s),
+            Err(e) if transient(e.kind()) && start.elapsed() < deadline => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enrollment handshake
+// ---------------------------------------------------------------------------
+
+/// `Tag::i` sentinel of the hello control frame (worker → master).
+/// Distinct from the session sentinels (`RUN_BEGIN`, `RUN_END`), which
+/// only ever travel *after* enrollment.
+pub const HELLO: u32 = u32::MAX - 2;
+/// `Tag::i` sentinel of the welcome control frame (master → worker).
+pub const WELCOME: u32 = u32::MAX - 3;
+/// `Tag::j` value in a hello meaning "assign me any free worker slot".
+pub const CLAIM_ANY: u32 = u32::MAX;
+
+/// Service id: the master serves matrix-product runs (the worker must run
+/// the `mwp-core` Algorithm 2 program).
+pub const SERVICE_MATRIX: u8 = 0;
+/// Service id: the master serves LU-factorization runs.
+pub const SERVICE_LU: u8 = 1;
+/// Service id of sessions whose worker programs are supplied in-process
+/// (loopback transport): the welcome's service byte is advisory only.
+pub const SERVICE_INPROC: u8 = 255;
+
+/// The first frame on a new connection: the worker introduces itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// The worker slot this connection claims, or `None` to let the
+    /// master assign the next free slot (out-of-process workers).
+    pub claimed: Option<WorkerId>,
+    /// Opaque fingerprint bytes: loopback workers send the platform
+    /// fingerprint (and the master verifies it — a cross-wired connect
+    /// must fail fast); remote workers send a self-description (binary
+    /// version, compute kernel) the master records.
+    pub fingerprint: Vec<u8>,
+}
+
+/// The master's reply: the connection's identity and link parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Welcome {
+    /// The assigned worker slot.
+    pub worker: WorkerId,
+    /// Per-block link cost `c` of this worker's link.
+    pub c: f64,
+    /// Compute cost `w` per block update.
+    pub w: f64,
+    /// Memory capacity `m` in blocks (the worker program's invariant cap).
+    pub m: u64,
+    /// Wall seconds per model time unit (0 = unpaced), for symmetry with
+    /// the master's own pacing — informational on the worker side, which
+    /// never paces (the one-port model bills all transfers to the master).
+    pub time_scale: f64,
+    /// Which worker program the master expects ([`SERVICE_MATRIX`],
+    /// [`SERVICE_LU`], or [`SERVICE_INPROC`]).
+    pub service: u8,
+}
+
+/// How long each side of the enrollment handshake waits for the peer's
+/// frame (override with `MWP_HANDSHAKE_TIMEOUT_MS`, mostly for tests). A
+/// connection that goes silent mid-handshake is dropped after this —
+/// never allowed to park an accept loop forever.
+pub fn handshake_timeout() -> Duration {
+    let ms = std::env::var("MWP_HANDSHAKE_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000u64);
+    Duration::from_millis(ms)
+}
+
+/// Encode a [`Hello`] as its control frame.
+pub fn hello_frame(hello: &Hello) -> Frame {
+    let j = hello.claimed.map_or(CLAIM_ANY, |id| id.index() as u32);
+    Frame::new(
+        Tag { kind: FrameKind::Control, i: HELLO, j },
+        Bytes::from(hello.fingerprint.clone()),
+    )
+}
+
+/// Decode a [`Hello`] from the connection's first frame.
+pub fn parse_hello(frame: &Frame) -> io::Result<Hello> {
+    expect_sentinel(frame, HELLO, "hello")?;
+    let claimed = match frame.tag.j {
+        CLAIM_ANY => None,
+        idx => Some(WorkerId(idx as usize)),
+    };
+    Ok(Hello { claimed, fingerprint: frame.payload.to_vec() })
+}
+
+/// Encode a [`Welcome`] as its control frame.
+pub fn welcome_frame(welcome: &Welcome) -> Frame {
+    let mut payload = Vec::with_capacity(33);
+    payload.extend_from_slice(&welcome.c.to_le_bytes());
+    payload.extend_from_slice(&welcome.w.to_le_bytes());
+    payload.extend_from_slice(&welcome.m.to_le_bytes());
+    payload.extend_from_slice(&welcome.time_scale.to_le_bytes());
+    payload.push(welcome.service);
+    Frame::new(
+        Tag { kind: FrameKind::Control, i: WELCOME, j: welcome.worker.index() as u32 },
+        Bytes::from(payload),
+    )
+}
+
+/// Decode a [`Welcome`] frame.
+pub fn parse_welcome(frame: &Frame) -> io::Result<Welcome> {
+    expect_sentinel(frame, WELCOME, "welcome")?;
+    let p = &frame.payload;
+    if p.len() != 33 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("welcome payload is {} bytes, expected 33", p.len()),
+        ));
+    }
+    let f64_at = |o: usize| f64::from_le_bytes(p[o..o + 8].try_into().expect("len checked"));
+    Ok(Welcome {
+        worker: WorkerId(frame.tag.j as usize),
+        c: f64_at(0),
+        w: f64_at(8),
+        m: u64::from_le_bytes(p[16..24].try_into().expect("len checked")),
+        time_scale: f64_at(24),
+        service: p[32],
+    })
+}
+
+/// Require `frame` to be the `sentinel` control frame.
+fn expect_sentinel(frame: &Frame, sentinel: u32, what: &str) -> io::Result<()> {
+    if frame.tag.kind != FrameKind::Control || frame.tag.i != sentinel {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected {what} frame, got {:?} (tag.i = {})", frame.tag.kind, frame.tag.i),
+        ));
+    }
+    Ok(())
+}
+
+/// Receive and decode a [`Hello`] from a framed reader (the split-halves
+/// counterpart of the pre-split handshake; see [`enroll`]).
+pub fn read_hello(r: &mut dyn FrameRead) -> io::Result<Hello> {
+    parse_hello(&expect_frame(r.recv_frame()?, "hello")?)
+}
+
+/// Receive and decode a [`Welcome`] from a framed reader.
+pub fn read_welcome(r: &mut dyn FrameRead) -> io::Result<Welcome> {
+    parse_welcome(&expect_frame(r.recv_frame()?, "welcome")?)
+}
+
+/// Send a [`Hello`] on a framed writer.
+pub fn write_hello(w: &mut dyn FrameWrite, hello: &Hello) -> io::Result<()> {
+    w.send_frame(&hello_frame(hello))
+}
+
+/// Send a [`Welcome`] on a framed writer.
+pub fn write_welcome(w: &mut dyn FrameWrite, welcome: &Welcome) -> io::Result<()> {
+    w.send_frame(&welcome_frame(welcome))
+}
+
+/// A handshake frame must exist — EOF mid-handshake is an error.
+pub(crate) fn expect_frame(frame: Option<Frame>, what: &str) -> io::Result<Frame> {
+    frame.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::UnexpectedEof, format!("peer closed before {what}"))
+    })
+}
+
+/// Worker-process (or loopback worker-thread) enrollment: send a hello
+/// over `stream` — claiming `claim` or asking for any slot — and build a
+/// socket-backed [`WorkerEndpoint`] from the returned welcome. The
+/// endpoint drives the exact same worker programs as the channel
+/// transport; see [`crate::session::serve_worker`] for the outer loop.
+///
+/// The welcome is read on the unsplit stream under the
+/// [`handshake_timeout`] deadline and the [`MAX_HANDSHAKE_WIRE_LEN`]
+/// budget — a silent or hostile "master" cannot park this worker forever
+/// or feed it a giant allocation. The deadline is cleared before the
+/// stream splits into the endpoint's halves (enrolled workers park
+/// indefinitely between runs by design).
+pub fn enroll(
+    mut stream: Box<dyn FrameStream>,
+    claim: Option<WorkerId>,
+    fingerprint: &[u8],
+) -> io::Result<(WorkerEndpoint, Welcome)> {
+    stream.set_read_timeout(Some(handshake_timeout()))?;
+    stream.send_frame(&hello_frame(&Hello { claimed: claim, fingerprint: fingerprint.to_vec() }))?;
+    let welcome =
+        parse_welcome(&expect_frame(stream.recv_frame_capped(MAX_HANDSHAKE_WIRE_LEN)?, "welcome")?)?;
+    stream.set_read_timeout(None)?;
+    if let Some(claimed) = claim {
+        if welcome.worker != claimed {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("claimed slot {} but was welcomed as {}", claimed.index(), welcome.worker.index()),
+            ));
+        }
+    }
+    let (reader, writer) = stream.split()?;
+    Ok((WorkerEndpoint::remote(welcome.worker, reader, writer), welcome))
+}
+
+// ---------------------------------------------------------------------------
+// RemoteLink: the master-facing half of a socket link
+// ---------------------------------------------------------------------------
+
+/// The master side of one socket-backed link.
+///
+/// Internally this is a channel-backed [`MasterSide`] — the very struct
+/// the channel transport hands to [`crate::MasterEndpoint`], with pacing,
+/// one-port metering, and statistics untouched — whose worker half is
+/// bridged to the socket by two pump threads:
+///
+/// * the **out pump** drains master→worker frames from the channel onto
+///   the socket; it exits after forwarding a [`Frame::shutdown`] (or,
+///   when the master endpoint drops without one, after sending a
+///   best-effort shutdown of its own), so the remote worker always
+///   observes an orderly end-of-session;
+/// * the **in pump** reads worker→master frames off the socket into the
+///   channel and exits on EOF or a transport error — at which point a
+///   master blocked in `recv` observes the same "worker died" channel
+///   error the in-process transport produces.
+///
+/// Pump threads never meter or pace: the master pays for a transfer when
+/// the frame crosses its `MasterSide`, exactly as with channel links, so
+/// the one-port model's accounting is transport-independent.
+pub struct RemoteLink {
+    side: MasterSide,
+    pumps: [JoinHandle<()>; 2],
+}
+
+impl RemoteLink {
+    /// Bridge split stream halves into a channel-backed link for worker
+    /// `id` with per-block cost `c` and the network's pacing.
+    pub fn attach(
+        reader: Box<dyn FrameRead>,
+        writer: Box<dyn FrameWrite>,
+        c: f64,
+        pacing: Pacing,
+        id: WorkerId,
+    ) -> RemoteLink {
+        let (master_side, worker_side) = Link::new(c, pacing).split();
+        let (to_worker_rx, to_master_tx) = worker_side.into_channels();
+        let mut writer = writer;
+        let out_pump = thread::Builder::new()
+            .name(format!("mwp-pump-out-{}", id.index()))
+            .spawn(move || {
+                loop {
+                    let frame = match to_worker_rx.recv() {
+                        Ok(f) => f,
+                        Err(_) => {
+                            // Master endpoint dropped without a shutdown
+                            // frame: synthesize one so the remote worker
+                            // still sees an orderly close.
+                            let _ = writer.send_frame(&Frame::shutdown());
+                            break;
+                        }
+                    };
+                    let is_shutdown = frame.tag.kind == FrameKind::Shutdown;
+                    if writer.send_frame(&frame).is_err() || is_shutdown {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn transport out-pump");
+        let mut reader = reader;
+        let in_pump = thread::Builder::new()
+            .name(format!("mwp-pump-in-{}", id.index()))
+            .spawn(move || {
+                // Until the peer closes (Ok(None)) or the stream dies.
+                while let Ok(Some(frame)) = reader.recv_frame() {
+                    if to_master_tx.send(frame).is_err() {
+                        break; // master endpoint gone
+                    }
+                }
+            })
+            .expect("spawn transport in-pump");
+        RemoteLink { side: master_side, pumps: [out_pump, in_pump] }
+    }
+
+    /// Disassemble into the endpoint-facing side and the pump handles
+    /// (joined by the owning session at teardown).
+    pub(crate) fn into_parts(self) -> (MasterSide, [JoinHandle<()>; 2]) {
+        (self.side, self.pumps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FrameKind, Tag};
+    use bytes::Bytes;
+
+    fn frame(kind: FrameKind, i: usize, j: usize, payload: &[u8]) -> Frame {
+        Frame::new(Tag::new(kind, i, j), Bytes::from(payload.to_vec()))
+    }
+
+    /// A reader that hands out its bytes at most `chunk` at a time —
+    /// simulating TCP split reads, where one frame arrives across many
+    /// `read` calls.
+    struct SplitReader {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for SplitReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(self.chunk).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn wire_of(frames: &[Frame]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for f in frames {
+            write_frame_to(&mut out, f).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn framing_roundtrip_preserves_frames() {
+        let frames = [
+            frame(FrameKind::BlockB, 3, 17, &[1, 2, 3, 4]),
+            frame(FrameKind::Control, 0, 0, &[]),
+            Frame::shutdown(),
+        ];
+        let wire = wire_of(&frames);
+        let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
+        let pool = BufferPool::new();
+        for f in &frames {
+            assert_eq!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().as_ref(), Some(f));
+        }
+        assert!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn split_reads_reassemble_whole_frames() {
+        // One byte per read() call: the framing layer must reassemble.
+        let frames = [frame(FrameKind::BlockA, 9, 9, &[7u8; 100]), frame(FrameKind::CResult, 1, 2, &[8u8; 33])];
+        let wire = wire_of(&frames);
+        let mut r = SplitReader { data: wire, pos: 0, chunk: 1 };
+        let pool = BufferPool::new();
+        for f in &frames {
+            assert_eq!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().as_ref(), Some(f));
+        }
+        assert!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_hang() {
+        let wire = wire_of(&[frame(FrameKind::BlockB, 0, 0, &[5u8; 64])]);
+        let pool = BufferPool::new();
+        // Cut at every interesting boundary: mid-prefix, mid-header,
+        // mid-payload.
+        for cut in [1, 3, 4 + 4, wire.len() - 1] {
+            let mut r = SplitReader { data: wire[..cut].to_vec(), pos: 0, chunk: usize::MAX };
+            let err = read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        // 3 GiB length prefix: must be InvalidData, not an allocation.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(3u32 << 30).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 32]);
+        let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
+        let err = read_frame_from(&mut r, &BufferPool::new(), MAX_WIRE_LEN).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"), "got: {err}");
+    }
+
+    #[test]
+    fn undersized_length_prefix_is_rejected() {
+        // A prefix shorter than the 9-byte header can never frame a
+        // valid message.
+        for len in 0u32..9 {
+            let mut wire = Vec::new();
+            wire.extend_from_slice(&len.to_le_bytes());
+            wire.extend_from_slice(&vec![0u8; len as usize]);
+            let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
+            let err = read_frame_from(&mut r, &BufferPool::new(), MAX_WIRE_LEN).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "len {len}");
+        }
+    }
+
+    #[test]
+    fn garbage_kind_tag_is_rejected() {
+        let mut wire = wire_of(&[frame(FrameKind::BlockA, 1, 1, &[1, 2, 3])]);
+        wire[4] = 200; // corrupt the kind byte inside the framed image
+        let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
+        let err = read_frame_from(&mut r, &BufferPool::new(), MAX_WIRE_LEN).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn received_payloads_reuse_pooled_buffers() {
+        let wire = wire_of(&[frame(FrameKind::BlockB, 0, 0, &[9u8; 256])]);
+        let pool = BufferPool::new();
+        let mut r = SplitReader { data: wire.clone(), pos: 0, chunk: usize::MAX };
+        let f1 = read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().unwrap();
+        let first_ptr = f1.payload.as_ptr();
+        drop(f1); // last view: the buffer returns to the pool
+        assert_eq!(pool.idle_buffers(), 1);
+        let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
+        let f2 = read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().unwrap();
+        // Second receive lands in the recycled storage (same backing
+        // buffer, so same payload offset within it).
+        assert_eq!(f2.payload.as_ptr(), first_ptr);
+    }
+
+    #[test]
+    fn hello_welcome_roundtrip() {
+        let mut wire: Vec<u8> = Vec::new();
+        {
+            let mut w = FramedWriter::new(&mut wire);
+            write_hello(&mut w, &Hello { claimed: Some(WorkerId(3)), fingerprint: b"fp".to_vec() })
+                .unwrap();
+            write_hello(&mut w, &Hello { claimed: None, fingerprint: vec![] }).unwrap();
+            write_welcome(
+                &mut w,
+                &Welcome { worker: WorkerId(2), c: 4.0, w: 1.5, m: 60, time_scale: 0.25, service: SERVICE_LU },
+            )
+            .unwrap();
+        }
+        let mut r = FramedReader::new(SplitReader { data: wire, pos: 0, chunk: 1 });
+        let h1 = read_hello(&mut r).unwrap();
+        assert_eq!(h1, Hello { claimed: Some(WorkerId(3)), fingerprint: b"fp".to_vec() });
+        let h2 = read_hello(&mut r).unwrap();
+        assert_eq!(h2.claimed, None);
+        let w = read_welcome(&mut r).unwrap();
+        assert_eq!(w.worker, WorkerId(2));
+        assert_eq!((w.c, w.w, w.m, w.time_scale, w.service), (4.0, 1.5, 60, 0.25, SERVICE_LU));
+    }
+
+    #[test]
+    fn handshake_rejects_wrong_frame() {
+        let mut wire: Vec<u8> = Vec::new();
+        {
+            let mut w = FramedWriter::new(&mut wire);
+            w.send_frame(&Frame::shutdown()).unwrap();
+        }
+        let mut r = FramedReader::new(SplitReader { data: wire, pos: 0, chunk: usize::MAX });
+        assert!(read_hello(&mut r).is_err());
+    }
+
+    #[test]
+    fn transport_mode_parser_is_strict() {
+        assert_eq!(parse_transport_mode(""), Ok(TransportMode::Channel));
+        assert_eq!(parse_transport_mode("channel"), Ok(TransportMode::Channel));
+        assert_eq!(parse_transport_mode("tcp"), Ok(TransportMode::Tcp));
+        assert_eq!(parse_transport_mode("uds"), Ok(TransportMode::Uds));
+        let err = parse_transport_mode("pigeon").unwrap_err();
+        for name in TransportMode::NAMES {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+    }
+
+    #[test]
+    fn tcp_stream_carries_frames_both_ways() {
+        let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+        let endpoint = listener.endpoint();
+        let h = thread::spawn(move || {
+            let stream = connect(&endpoint).unwrap();
+            let (mut r, mut w) = stream.split().unwrap();
+            // Echo one frame back with a changed tag.
+            let f = r.recv_frame().unwrap().unwrap();
+            w.send_frame(&Frame::new(Tag::new(FrameKind::CResult, 7, 7), f.payload)).unwrap();
+        });
+        let conn = listener.accept().unwrap();
+        let (mut r, mut w) = conn.split().unwrap();
+        w.send_frame(&frame(FrameKind::BlockA, 1, 2, &[1, 2, 3])).unwrap();
+        let back = r.recv_frame().unwrap().unwrap();
+        assert_eq!(back.tag, Tag::new(FrameKind::CResult, 7, 7));
+        assert_eq!(&back.payload[..], &[1, 2, 3]);
+        assert!(r.recv_frame().unwrap().is_none(), "peer closed cleanly");
+        h.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_stream_carries_frames_and_unlinks_its_path() {
+        let listener = TransportListener::bind(TransportMode::Uds).unwrap();
+        let endpoint = listener.endpoint();
+        let path = match &listener {
+            TransportListener::Uds { path, .. } => path.clone(),
+            _ => unreachable!(),
+        };
+        let h = thread::spawn(move || {
+            let stream = connect(&endpoint).unwrap();
+            let (mut r, mut w) = stream.split().unwrap();
+            let f = r.recv_frame().unwrap().unwrap();
+            w.send_frame(&f).unwrap();
+        });
+        let conn = listener.accept().unwrap();
+        let (mut r, mut w) = conn.split().unwrap();
+        let sent = frame(FrameKind::LuPanel, 3, 0, &[9u8; 40]);
+        w.send_frame(&sent).unwrap();
+        assert_eq!(r.recv_frame().unwrap().unwrap(), sent);
+        h.join().unwrap();
+        assert!(path.exists());
+        drop((r, w, listener));
+        assert!(!path.exists(), "socket path must be unlinked on drop");
+    }
+
+    #[test]
+    fn remote_link_bridges_a_socket_to_master_side_semantics() {
+        let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+        let endpoint = listener.endpoint();
+        // "Remote worker": echo frames until shutdown.
+        let h = thread::spawn(move || {
+            let stream = connect(&endpoint).unwrap();
+            let (mut r, mut w) = stream.split().unwrap();
+            while let Some(f) = r.recv_frame().unwrap() {
+                if f.tag.kind == FrameKind::Shutdown {
+                    break;
+                }
+                let _ = w.send_frame(&Frame::new(Tag::new(FrameKind::CResult, f.tag.i as usize, 0), f.payload));
+            }
+        });
+        let conn = listener.accept().unwrap();
+        let (reader, writer) = conn.split().unwrap();
+        let link = RemoteLink::attach(reader, writer, 2.0, Pacing::OFF, WorkerId(0));
+        let (side, pumps) = link.into_parts();
+        let cost = side.send(frame(FrameKind::BlockA, 5, 0, &[1u8; 16]), 2);
+        assert_eq!(cost, 4.0, "pacing cost is metered on the master side");
+        let (back, _) = side.recv(2).unwrap();
+        assert_eq!(back.tag.i, 5);
+        let snap = side.stats().snapshot();
+        assert_eq!(snap.blocks_to_worker, 2);
+        assert_eq!(snap.blocks_to_master, 2);
+        side.send(Frame::shutdown(), 0);
+        for p in pumps {
+            p.join().unwrap();
+        }
+        h.join().unwrap();
+    }
+}

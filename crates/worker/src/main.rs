@@ -1,0 +1,108 @@
+//! `mwp-worker` — an out-of-process worker for the master-worker
+//! runtimes.
+//!
+//! Dials a master's transport listener, enrolls (sending a fingerprint
+//! naming this binary's version and its dispatched compute kernel), and
+//! serves `RUN_BEGIN`/`RUN_END`-delimited session runs over the socket
+//! until the master shuts the session down. Which program it runs is the
+//! master's choice, carried in the enrollment welcome's service id:
+//! the matrix-product block server (`SERVICE_MATRIX`) or the LU op
+//! server (`SERVICE_LU`).
+//!
+//! ```text
+//! mwp-worker --connect tcp://192.168.0.10:4455
+//! mwp-worker --connect uds:/tmp/mwp-master.sock --wait-ms 10000
+//! ```
+//!
+//! The process exits 0 after an orderly shutdown (shutdown frame or the
+//! master closing the connection), and non-zero on connect/enroll
+//! failures or an unknown service id.
+
+use mwp_msg::transport::{self, SERVICE_LU, SERVICE_MATRIX};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    endpoint: String,
+    wait_ms: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mwp-worker --connect <tcp://host:port | uds:/path> [--wait-ms <ms>]\n\
+         \n\
+         Dials the master's listener, enrolls, and serves session runs\n\
+         until the master shuts the session down. --wait-ms (default\n\
+         5000) bounds how long to retry while the master is not yet\n\
+         listening."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut endpoint = None;
+    let mut wait_ms = 5000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => endpoint = args.next(),
+            "--wait-ms" => {
+                wait_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    match endpoint {
+        Some(endpoint) => Args { endpoint, wait_ms },
+        None => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    // The fingerprint the master records for this connection: binary
+    // version plus the dispatched kernel, so a master log can spot a
+    // worker that would compute with different arithmetic.
+    let fingerprint = format!(
+        "mwp-worker/{} kernel={}",
+        env!("CARGO_PKG_VERSION"),
+        mwp_blockmat::kernel::active().name()
+    );
+    let stream =
+        match transport::connect_with_retry(&args.endpoint, Duration::from_millis(args.wait_ms)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mwp-worker: cannot reach {}: {e}", args.endpoint);
+                return ExitCode::FAILURE;
+            }
+        };
+    let (ep, welcome) = match transport::enroll(stream, None, fingerprint.as_bytes()) {
+        Ok(ok) => ok,
+        Err(e) => {
+            eprintln!("mwp-worker: enrollment at {} failed: {e}", args.endpoint);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "mwp-worker: enrolled as worker {} (c = {}, w = {}, m = {}, service = {})",
+        welcome.worker.index(),
+        welcome.c,
+        welcome.w,
+        welcome.m,
+        welcome.service,
+    );
+    match welcome.service {
+        SERVICE_MATRIX => mwp_core::remote::serve(ep, welcome.m as usize),
+        SERVICE_LU => mwp_lu::runtime::serve_remote(ep),
+        other => {
+            eprintln!("mwp-worker: master asked for unknown service id {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("mwp-worker: session closed, exiting");
+    ExitCode::SUCCESS
+}

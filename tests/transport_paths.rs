@@ -1,0 +1,131 @@
+//! Transport cross-validation: the loopback socket backends (TCP, and
+//! Unix-domain sockets where available) must produce **bit-identical**
+//! results to the in-process channel transport on every runtime — HoLM,
+//! the heterogeneous two-phase scheme, and the threaded LU — with
+//! identical traffic accounting. The transports share every line of
+//! master and worker compute code; only the bytes' route differs, so any
+//! divergence is a framing bug by construction.
+//!
+//! Constructed with explicit [`TransportMode`]s so all backends are
+//! compared inside one process regardless of `MWP_TRANSPORT` (the CI
+//! `MWP_TRANSPORT=tcp` leg additionally routes the *whole* suite's
+//! implicit sessions over loopback sockets).
+
+use master_worker_matrix::prelude::*;
+use mwp_blockmat::fill::{random_diagonally_dominant, random_matrix};
+use mwp_blockmat::gemm::gemm_serial;
+use mwp_core::session::RuntimeSession;
+use mwp_lu::runtime::LuSession;
+use mwp_msg::TransportMode;
+
+/// The socket modes this platform can run.
+fn socket_modes() -> Vec<TransportMode> {
+    let mut modes = vec![TransportMode::Tcp];
+    if cfg!(unix) {
+        modes.push(TransportMode::Uds);
+    }
+    modes
+}
+
+#[test]
+fn holm_over_sockets_matches_channels_bitwise() {
+    let platform = Platform::homogeneous(4, 4.0, 1.0, 60).unwrap();
+    let channel = RuntimeSession::with_transport(&platform, 0.0, TransportMode::Channel);
+    for mode in socket_modes() {
+        let socket = RuntimeSession::with_transport(&platform, 0.0, mode);
+        // Consecutive runs on one socket session, with a q change in the
+        // middle (scratch reset on the far side of a real socket).
+        for (round, q) in [(0u64, 8usize), (1, 8), (2, 33)] {
+            let a = random_matrix(5, 7, q, 131 + round);
+            let b = random_matrix(7, 9, q, 141 + round);
+            let c0 = random_matrix(5, 9, q, 151 + round);
+            let over_socket = socket.run_holm(&a, &b, c0.clone()).unwrap();
+            let over_channel = channel.run_holm(&a, &b, c0.clone()).unwrap();
+            assert_eq!(
+                over_socket.c.max_abs_diff(&over_channel.c),
+                0.0,
+                "{mode:?} round {round} (q = {q}): socket vs channel bits"
+            );
+            assert_eq!(over_socket.blocks_moved, over_channel.blocks_moved, "{mode:?} {round}");
+            assert_eq!(over_socket.workers_used, over_channel.workers_used, "{mode:?} {round}");
+            assert_eq!(over_socket.chunk_side, over_channel.chunk_side, "{mode:?} {round}");
+
+            // And both match the serial oracle product bit-for-bit.
+            let mut serial = c0;
+            gemm_serial(&mut serial, &a, &b);
+            assert_eq!(over_socket.c.max_abs_diff(&serial), 0.0, "{mode:?} {round} vs serial");
+        }
+        assert_eq!(socket.shutdown(), 4);
+    }
+    channel.shutdown();
+}
+
+#[test]
+fn heterogeneous_over_tcp_matches_channels_bitwise() {
+    let platform = Platform::new(vec![
+        WorkerParams::new(2.0, 2.0, 60),
+        WorkerParams::new(3.0, 3.0, 396),
+        WorkerParams::new(5.0, 1.0, 140),
+    ])
+    .unwrap();
+    let channel = RuntimeSession::with_transport(&platform, 0.0, TransportMode::Channel);
+    let socket = RuntimeSession::with_transport(&platform, 0.0, TransportMode::Tcp);
+    let q = 4;
+    for rule in [SelectionRule::Global, SelectionRule::Local] {
+        let a = random_matrix(10, 4, q, 161);
+        let b = random_matrix(4, 13, q, 171);
+        let c0 = random_matrix(10, 13, q, 181);
+        let over_socket = socket.run_heterogeneous(&a, &b, c0.clone(), rule).unwrap();
+        let over_channel = channel.run_heterogeneous(&a, &b, c0, rule).unwrap();
+        assert_eq!(
+            over_socket.c.max_abs_diff(&over_channel.c),
+            0.0,
+            "{rule:?}: heterogeneous socket vs channel bits"
+        );
+        assert_eq!(over_socket.blocks_moved, over_channel.blocks_moved, "{rule:?}");
+        assert_eq!(over_socket.workers_used, over_channel.workers_used, "{rule:?}");
+    }
+    socket.shutdown();
+    channel.shutdown();
+}
+
+#[test]
+fn lu_over_sockets_matches_channels_bitwise() {
+    let platform = Platform::homogeneous(3, 1.0, 1.0, 1000).unwrap();
+    let channel = LuSession::with_transport(&platform, 0.0, TransportMode::Channel);
+    for mode in socket_modes() {
+        let socket = LuSession::with_transport(&platform, 0.0, mode);
+        for (round, (r, q, mu)) in [(0u64, (4usize, 6usize, 2usize)), (1, (4, 6, 1)), (2, (3, 5, 2))] {
+            let matrix = random_diagonally_dominant(r, q, 191 + round);
+            let over_socket = socket.run(&matrix, mu);
+            let over_channel = channel.run(&matrix, mu);
+            assert_eq!(
+                over_socket.packed.max_abs_diff(&over_channel.packed),
+                0.0,
+                "{mode:?} round {round}: LU socket vs channel bits"
+            );
+            assert_eq!(over_socket.messages, over_channel.messages, "{mode:?} {round}");
+        }
+        assert_eq!(socket.shutdown(), 3);
+    }
+    channel.shutdown();
+}
+
+/// The one-shot entry points honour `MWP_TRANSPORT` via the session they
+/// implicitly spawn; whatever that mode is, their results must equal the
+/// explicit channel transport's. (Under the `MWP_TRANSPORT=tcp` CI leg
+/// this routes a fresh-spawned loopback-socket star per call.)
+#[test]
+fn one_shot_entry_points_match_explicit_channel_sessions() {
+    let platform = Platform::homogeneous(3, 4.0, 1.0, 60).unwrap();
+    let q = 8;
+    let a = random_matrix(4, 3, q, 211);
+    let b = random_matrix(3, 6, q, 221);
+    let c0 = random_matrix(4, 6, q, 231);
+    let ambient = run_holm(&platform, &a, &b, c0.clone(), 0.0).unwrap();
+    let channel = RuntimeSession::with_transport(&platform, 0.0, TransportMode::Channel);
+    let explicit = channel.run_holm(&a, &b, c0).unwrap();
+    assert_eq!(ambient.c.max_abs_diff(&explicit.c), 0.0);
+    assert_eq!(ambient.blocks_moved, explicit.blocks_moved);
+    channel.shutdown();
+}
