@@ -10,7 +10,14 @@
 //! prints the speedup of each workload against the recorded baseline;
 //! with `--min-speedup X` it exits nonzero if any workload falls below
 //! `X`× the baseline, so CI can fail on perf regressions instead of
-//! merely printing them.
+//! merely printing them. `--min-geomean X` gates the geometric mean of
+//! all compared speedups instead of the worst single workload — the
+//! right shape for aggregate-cost claims (such as "heartbeats cost at
+//! most 5%"), where per-workload scheduler jitter on sub-millisecond
+//! paths would swamp a worst-case floor. `--only PREFIX` (repeatable)
+//! restricts both modes to workloads whose name starts with a given
+//! prefix — how the CI heartbeat-cost gate measures `session_reuse/`
+//! and `run_` without the pure-compute kernel sweeps.
 //! Block-kernel workloads also report GFLOP/s (2q³ FLOPs per update), so
 //! kernel throughput is tracked directly rather than inferred from time,
 //! and pack-counting workloads report B packs per iteration, so repack
@@ -50,13 +57,38 @@ fn main() {
         }
         None => None,
     };
+    let min_geomean = match args.iter().position(|a| a == "--min-geomean") {
+        Some(i) => {
+            let v = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--min-geomean needs a numeric threshold");
+                    std::process::exit(2);
+                });
+            args.drain(i..i + 2);
+            Some(v)
+        }
+        None => None,
+    };
+    let mut only: Vec<String> = Vec::new();
+    while let Some(i) = args.iter().position(|a| a == "--only") {
+        let Some(prefix) = args.get(i + 1).cloned() else {
+            eprintln!("--only needs a workload-name prefix");
+            std::process::exit(2);
+        };
+        only.push(prefix);
+        args.drain(i..i + 2);
+    }
+    let keep = |name: &str| only.is_empty() || only.iter().any(|p| name.starts_with(p.as_str()));
     let mode = args.first().map(String::as_str).unwrap_or("--compare");
     let path = args.get(1).map(String::as_str).unwrap_or("BENCH_baseline.json");
     println!("block kernel: {}", mwp_blockmat::kernel::active().name());
 
     match mode {
         "--write" => {
-            let ms = measure_all();
+            let ms: Vec<Measurement> =
+                measure_all().into_iter().filter(|m| keep(&m.name)).collect();
             for m in &ms {
                 let gflops = m.gflops.map_or(String::new(), |g| format!(" {g:>8.2} GFLOP/s"));
                 let packs =
@@ -71,14 +103,17 @@ fn main() {
         "--compare" => {
             let doc = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| panic!("read {path}: {e} (record one with --write)"));
-            let baseline = from_json(&doc);
+            let baseline: Vec<Measurement> =
+                from_json(&doc).into_iter().filter(|b| keep(&b.name)).collect();
             assert!(!baseline.is_empty(), "no benchmarks parsed from {path}");
-            let current = measure_all();
+            let current: Vec<Measurement> =
+                measure_all().into_iter().filter(|m| keep(&m.name)).collect();
             println!(
                 "{:<28} {:>14} {:>14} {:>9} {:>9} {:>7}",
                 "workload", "baseline ns", "current ns", "speedup", "GFLOP/s", "packs"
             );
             let mut worst: f64 = f64::INFINITY;
+            let mut log_sum = 0.0f64;
             let mut compared = 0usize;
             for c in &current {
                 let gflops = c.gflops.map_or_else(|| " ".repeat(9), |g| format!("{g:9.2}"));
@@ -100,6 +135,7 @@ fn main() {
                 };
                 let speedup = b.ns_per_iter / c.ns_per_iter;
                 worst = worst.min(speedup);
+                log_sum += speedup.ln();
                 compared += 1;
                 println!(
                     "{:<28} {:>14.1} {:>14.1} {:>8.2}x {gflops} {packs}",
@@ -114,20 +150,34 @@ fn main() {
                 }
             }
             print_session_speedups(&current);
-            println!("worst speedup vs baseline: {worst:.2}x ({compared} workloads compared)");
+            let geomean =
+                if compared > 0 { (log_sum / compared as f64).exp() } else { f64::NAN };
+            println!(
+                "worst speedup vs baseline: {worst:.2}x, geomean {geomean:.2}x \
+                 ({compared} workloads compared)"
+            );
+            if (min_speedup.is_some() || min_geomean.is_some()) && compared == 0 {
+                eprintln!(
+                    "FAIL: no workload matched the baseline file — the \
+                     speedup gate would pass vacuously"
+                );
+                std::process::exit(1);
+            }
             if let Some(floor) = min_speedup {
-                if compared == 0 {
-                    eprintln!(
-                        "FAIL: no workload matched the baseline file — the \
-                         --min-speedup gate would pass vacuously"
-                    );
-                    std::process::exit(1);
-                }
                 if worst < floor {
                     eprintln!("FAIL: worst speedup {worst:.2}x is below the --min-speedup floor {floor}x");
                     std::process::exit(1);
                 }
                 println!("all {compared} compared workloads at or above the {floor}x floor");
+            }
+            if let Some(floor) = min_geomean {
+                if geomean < floor {
+                    eprintln!(
+                        "FAIL: speedup geomean {geomean:.2}x is below the --min-geomean floor {floor}x"
+                    );
+                    std::process::exit(1);
+                }
+                println!("speedup geomean {geomean:.2}x is at or above the {floor}x floor");
             }
         }
         other => {

@@ -209,43 +209,79 @@ pub(crate) fn holm_on(
     let band = (mu * enrolled).max(1);
     tiles.sort_by_key(|ch| (ch.j0 / band, ch.i0, ch.j0));
 
-    // Algorithm 1: process chunks in groups of `enrolled`, one per worker.
-    for group in tiles.chunks(enrolled) {
-        let assignment: Vec<(WorkerId, &Chunk)> = group
-            .iter()
-            .enumerate()
-            .map(|(idx, ch)| (WorkerId(idx), ch))
-            .collect();
+    // Algorithm 1: process chunks in groups, one per **live** worker.
+    // With a healthy fleet this is the historical fixed grouping of
+    // `enrolled` chunks per round; a worker dying mid-round gets its
+    // chunk re-queued and the next round regroups over the survivors.
+    // Re-dispatch is exact replay: the master's `c` is only mutated by a
+    // *complete* collected chunk (see `recv_c_rows`), and the A/B
+    // payload caches are immutable, so a lost chunk's frames regenerate
+    // bit-identically for whichever survivor picks it up.
+    let mut queue: std::collections::VecDeque<Chunk> = tiles.into();
+    while !queue.is_empty() {
+        let live: Vec<WorkerId> =
+            (0..enrolled).map(WorkerId).filter(|&w| !master.is_dead(w)).collect();
+        assert!(
+            !live.is_empty(),
+            "every enrolled worker died mid-run: {} chunk(s) cannot be re-dispatched",
+            queue.len()
+        );
+        let n = live.len().min(queue.len());
+        let assignment: Vec<(WorkerId, Chunk)> =
+            live.into_iter().zip(queue.drain(..n)).collect();
+        // Tracks which members of this round are still exchanging; a
+        // failed send condemns the worker for the rest of the round.
+        let mut alive = vec![true; assignment.len()];
 
         // 1. Ship each worker its C chunk, one run frame per chunk row (C
         //    mutates between chunks, so its payloads are serialized on
         //    demand into pooled buffers — each C block still moves exactly
-        //    once per run).
-        for &(wid, ch) in &assignment {
-            send_c_rows(master, wid, &c, ch, &cpool);
+        //    once per failure-free run).
+        for (idx, (wid, ch)) in assignment.iter().enumerate() {
+            alive[idx] = send_c_rows(master, *wid, &c, ch, &cpool);
         }
         // 2. Stream the shared dimension from the payload caches: per
         //    step, one zero-copy B-row frame and one zero-copy A-column
         //    frame per worker.
         for k in 0..t {
-            for &(wid, ch) in &assignment {
-                master.send(
-                    wid,
-                    Frame::new(Tag::new(FrameKind::BlockB, k, ch.j0), bp.row_run(k, ch.j0, ch.width)),
-                    ch.width as u64,
-                );
-                master.send(
-                    wid,
-                    Frame::new(Tag::new(FrameKind::BlockA, ch.i0, k), ap.col_run(ch.i0, k, ch.height)),
-                    ch.height as u64,
-                );
+            for (idx, (wid, ch)) in assignment.iter().enumerate() {
+                if !alive[idx] {
+                    continue;
+                }
+                alive[idx] = master
+                    .try_send(
+                        *wid,
+                        Frame::new(
+                            Tag::new(FrameKind::BlockB, k, ch.j0),
+                            bp.row_run(k, ch.j0, ch.width),
+                        ),
+                        ch.width as u64,
+                    )
+                    .is_some()
+                    && master
+                        .try_send(
+                            *wid,
+                            Frame::new(
+                                Tag::new(FrameKind::BlockA, ch.i0, k),
+                                ap.col_run(ch.i0, k, ch.height),
+                            ),
+                            ch.height as u64,
+                        )
+                        .is_some();
             }
         }
         // 3. Collect results, deserializing into the existing C blocks
-        //    (no per-result allocation).
-        for &(wid, ch) in &assignment {
-            master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-            recv_c_rows(master, wid, &mut c, ch, q);
+        //    (no per-result allocation). A chunk lost to a death — at
+        //    any point of the exchange — goes back on the queue.
+        for (idx, (wid, ch)) in assignment.iter().enumerate() {
+            let collected = alive[idx]
+                && master
+                    .try_send(*wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0)
+                    .is_some()
+                && recv_c_rows(master, *wid, &mut c, ch, q);
+            if !collected {
+                queue.push_back(*ch);
+            }
         }
     }
 
@@ -372,35 +408,65 @@ pub(crate) fn heterogeneous_on(
         Some(ch)
     };
 
+    // Chunks lost to a worker death anywhere below; re-dispatched to
+    // survivors after the trace (the master's `c` is only mutated by a
+    // complete collected chunk, so a lost chunk replays exactly).
+    let mut lost: Vec<Chunk> = Vec::new();
+
     for step in &trace.steps {
         let wid = step.worker;
         let wi = wid.index();
+        if master.is_dead(wid) {
+            // A dead worker's surplus selections are no-ops; its lost
+            // chunk and unfinished column group are re-dispatched below.
+            continue;
+        }
         if active[wi].is_none() {
             // New chunk for this worker.
             let Some(ch) = cut_chunk(wi, mu[wi], &mut groups, &mut next_col) else {
                 continue; // grid exhausted: surplus selections are no-ops
             };
-            send_c_rows(master, wid, &c, &ch, &cpool);
+            if !send_c_rows(master, wid, &c, &ch, &cpool) {
+                lost.push(ch);
+                continue;
+            }
             active[wi] = Some((ch, 0));
         }
         let (ch, k) = active[wi].expect("just assigned");
         // One k-step: a zero-copy B-row frame then a zero-copy A-column
         // frame for this chunk, from the caches.
-        master.send(
-            wid,
-            Frame::new(Tag::new(FrameKind::BlockB, k, ch.j0), bp.row_run(k, ch.j0, ch.width)),
-            ch.width as u64,
-        );
-        master.send(
-            wid,
-            Frame::new(Tag::new(FrameKind::BlockA, ch.i0, k), ap.col_run(ch.i0, k, ch.height)),
-            ch.height as u64,
-        );
+        let sent = master
+            .try_send(
+                wid,
+                Frame::new(Tag::new(FrameKind::BlockB, k, ch.j0), bp.row_run(k, ch.j0, ch.width)),
+                ch.width as u64,
+            )
+            .is_some()
+            && master
+                .try_send(
+                    wid,
+                    Frame::new(
+                        Tag::new(FrameKind::BlockA, ch.i0, k),
+                        ap.col_run(ch.i0, k, ch.height),
+                    ),
+                    ch.height as u64,
+                )
+                .is_some();
+        if !sent {
+            lost.push(ch);
+            active[wi] = None;
+            continue;
+        }
         served.insert(wi);
         if k + 1 == t {
             // Chunk complete: fetch it back.
-            master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-            recv_c_rows(master, wid, &mut c, &ch, q);
+            let collected = master
+                .try_send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0)
+                .is_some()
+                && recv_c_rows(master, wid, &mut c, &ch, q);
+            if !collected {
+                lost.push(ch);
+            }
             active[wi] = None;
         } else {
             active[wi] = Some((ch, k + 1));
@@ -409,60 +475,125 @@ pub(crate) fn heterogeneous_on(
 
     // Selection stopped (its column-based termination test), possibly
     // mid-chunk: stream the remaining steps of every unfinished chunk.
+    // A worker dying here loses its chunk to the re-dispatch pool like
+    // anywhere else.
     for (wi, slot) in active.iter_mut().enumerate() {
         let Some((ch, k0)) = slot.take() else { continue };
         let wid = mwp_platform::WorkerId(wi);
+        let mut ok = !master.is_dead(wid);
         for k in k0..t {
-            master.send(
-                wid,
-                Frame::new(Tag::new(FrameKind::BlockB, k, ch.j0), bp.row_run(k, ch.j0, ch.width)),
-                ch.width as u64,
-            );
-            master.send(
-                wid,
-                Frame::new(Tag::new(FrameKind::BlockA, ch.i0, k), ap.col_run(ch.i0, k, ch.height)),
-                ch.height as u64,
-            );
+            if !ok {
+                break;
+            }
+            ok = master
+                .try_send(
+                    wid,
+                    Frame::new(
+                        Tag::new(FrameKind::BlockB, k, ch.j0),
+                        bp.row_run(k, ch.j0, ch.width),
+                    ),
+                    ch.width as u64,
+                )
+                .is_some()
+                && master
+                    .try_send(
+                        wid,
+                        Frame::new(
+                            Tag::new(FrameKind::BlockA, ch.i0, k),
+                            ap.col_run(ch.i0, k, ch.height),
+                        ),
+                        ch.height as u64,
+                    )
+                    .is_some();
         }
-        master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-        recv_c_rows(master, wid, &mut c, &ch, q);
+        let collected = ok
+            && master
+                .try_send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0)
+                .is_some()
+            && recv_c_rows(master, wid, &mut c, &ch, q);
+        if !collected {
+            lost.push(ch);
+        }
+    }
+
+    // A dead worker's partially-walked column group can never finish on
+    // its owner: surrender the unwalked rows to the re-dispatch pool
+    // (survivors split them to their own µ_i there).
+    for (wi, slot) in groups.iter_mut().enumerate() {
+        if master.is_dead(WorkerId(wi)) {
+            if let Some(g) = slot.take() {
+                if g.row < r {
+                    lost.push(Chunk { i0: g.row, j0: g.j0, height: r - g.row, width: g.width });
+                }
+            }
+        }
     }
 
     // The selection loop may terminate before the ragged tail of the grid
-    // is allocated; drain the remainder round-robin over capable workers.
+    // is allocated; drain the remainder round-robin over capable (and
+    // still-live) workers.
     let capable: Vec<usize> = (0..platform.len()).filter(|&i| mu[i] > 0).collect();
     let mut turn = 0usize;
     loop {
-        let wi = capable[turn % capable.len()];
+        let live: Vec<usize> =
+            capable.iter().copied().filter(|&i| !master.is_dead(WorkerId(i))).collect();
+        assert!(
+            !live.is_empty(),
+            "every capable worker died mid-run: the remaining chunks cannot be re-dispatched"
+        );
+        let wi = live[turn % live.len()];
         let Some(ch) = cut_chunk(wi, mu[wi], &mut groups, &mut next_col) else {
             // This worker's group is done and no columns remain; if no
-            // worker can cut anything, the grid is fully covered.
+            // live worker can cut anything, the grid is fully covered.
             let any_left = next_col < s
-                || capable.iter().any(|&w| groups[w].as_ref().is_some_and(|g| g.row < r));
+                || live.iter().any(|&w| groups[w].as_ref().is_some_and(|g| g.row < r));
             if !any_left {
                 break;
             }
             turn += 1;
             continue;
         };
-        let wid = mwp_platform::WorkerId(wi);
+        let wid = WorkerId(wi);
         turn += 1;
-        send_c_rows(master, wid, &c, &ch, &cpool);
-        for k in 0..t {
-            master.send(
-                wid,
-                Frame::new(Tag::new(FrameKind::BlockB, k, ch.j0), bp.row_run(k, ch.j0, ch.width)),
-                ch.width as u64,
-            );
-            master.send(
-                wid,
-                Frame::new(Tag::new(FrameKind::BlockA, ch.i0, k), ap.col_run(ch.i0, k, ch.height)),
-                ch.height as u64,
-            );
+        if serve_chunk(master, wid, &mut c, &ch, &ap, &bp, &cpool, t, q) {
+            served.insert(wi);
+        } else {
+            lost.push(ch);
         }
-        master.send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0);
-        recv_c_rows(master, wid, &mut c, &ch, q);
-        served.insert(wi);
+    }
+
+    // Re-dispatch pool: every chunk lost to a death, replayed on the
+    // survivors. A chunk larger than the adopting worker's µ_i (its
+    // owner had more memory) is split until it fits — correctness only
+    // needs each C block's k-steps to run in order within one exchange,
+    // which any sub-rectangle preserves.
+    turn = 0;
+    while let Some(ch) = lost.pop() {
+        let live: Vec<usize> =
+            capable.iter().copied().filter(|&i| !master.is_dead(WorkerId(i))).collect();
+        assert!(
+            !live.is_empty(),
+            "every capable worker died mid-run: {} lost chunk(s) cannot be re-dispatched",
+            lost.len() + 1
+        );
+        let wi = live[turn % live.len()];
+        turn += 1;
+        let m = mu[wi];
+        if ch.width > m {
+            lost.push(Chunk { width: m, ..ch });
+            lost.push(Chunk { j0: ch.j0 + m, width: ch.width - m, ..ch });
+            continue;
+        }
+        if ch.height > m {
+            lost.push(Chunk { height: m, ..ch });
+            lost.push(Chunk { i0: ch.i0 + m, height: ch.height - m, ..ch });
+            continue;
+        }
+        if serve_chunk(master, WorkerId(wi), &mut c, &ch, &ap, &bp, &cpool, t, q) {
+            served.insert(wi);
+        } else {
+            lost.push(ch);
+        }
     }
 
     let blocks_moved = session.finish_run(enrolled, epoch);
@@ -477,14 +608,16 @@ pub(crate) fn heterogeneous_on(
 }
 
 /// Ship chunk `ch` of `c` to `wid`: one multi-block frame per chunk row,
-/// serialized into recycled pool buffers.
+/// serialized into recycled pool buffers. Returns `false` (with the
+/// worker condemned) if `wid` died mid-ship — the chunk is untouched on
+/// the master and can be replayed verbatim on a survivor.
 fn send_c_rows(
     master: &mwp_msg::MasterEndpoint,
     wid: WorkerId,
     c: &BlockMatrix,
     ch: &Chunk,
     pool: &mwp_msg::BufferPool,
-) {
+) -> bool {
     let bb = c.q() * c.q() * 8;
     for i in ch.rows() {
         let payload = pool.bytes_with(bb * ch.width, |buf| {
@@ -492,26 +625,44 @@ fn send_c_rows(
                 c.block(i, j).write_bytes_into(buf);
             }
         });
-        master.send(
+        let sent = master.try_send(
             wid,
             Frame::new(Tag::new(FrameKind::BlockC, i, ch.j0), payload),
             ch.width as u64,
         );
+        if sent.is_none() {
+            return false;
+        }
     }
+    true
 }
 
-/// Collect chunk `ch` back from `wid`: one frame per chunk row, copied
-/// straight into the existing C blocks (no per-result allocation).
+/// Collect chunk `ch` back from `wid`, committing it into `c` only once
+/// **every** row frame has arrived. Returns `false` — with `wid` marked
+/// dead and `c` untouched — when the worker dies or stays silent past
+/// the liveness deadline mid-collect. The all-or-nothing commit is what
+/// makes re-dispatch exact: a half-returned chunk must not leave `c`
+/// half-updated, or replaying the chunk would double-accumulate the
+/// committed rows.
 fn recv_c_rows(
     master: &mwp_msg::MasterEndpoint,
     wid: WorkerId,
     c: &mut BlockMatrix,
     ch: &Chunk,
     q: usize,
-) {
+) -> bool {
     let bb = q * q * 8;
+    let mut staged = Vec::with_capacity(ch.height);
     for _ in ch.rows() {
-        let (frame, _) = master.recv(wid, ch.width as u64).expect("worker died mid-chunk");
+        match master.recv_deadline(wid, ch.width as u64) {
+            Some((frame, _)) => staged.push(frame),
+            None => {
+                master.mark_dead(wid);
+                return false;
+            }
+        }
+    }
+    for frame in staged {
         debug_assert_eq!(frame.tag.kind, FrameKind::CResult);
         let (i, j0) = (frame.tag.i as usize, frame.tag.j as usize);
         let n = frame.payload.len() / bb;
@@ -520,6 +671,58 @@ fn recv_c_rows(
             c.block_mut(i, j0 + w).copy_from_bytes(&frame.payload[w * bb..(w + 1) * bb]);
         }
     }
+    true
+}
+
+/// Serve one whole chunk exchange — C rows out, all `t` k-steps, the
+/// collect request, the committed result — to a single worker. Returns
+/// `false` when `wid` died at any point of the exchange: `c` is then
+/// untouched for this chunk and the caller re-dispatches it to a
+/// survivor.
+#[allow(clippy::too_many_arguments)]
+fn serve_chunk(
+    master: &mwp_msg::MasterEndpoint,
+    wid: WorkerId,
+    c: &mut BlockMatrix,
+    ch: &Chunk,
+    ap: &SharedPayloads,
+    bp: &SharedPayloads,
+    cpool: &mwp_msg::BufferPool,
+    t: usize,
+    q: usize,
+) -> bool {
+    if !send_c_rows(master, wid, c, ch, cpool) {
+        return false;
+    }
+    for k in 0..t {
+        let sent = master
+            .try_send(
+                wid,
+                Frame::new(Tag::new(FrameKind::BlockB, k, ch.j0), bp.row_run(k, ch.j0, ch.width)),
+                ch.width as u64,
+            )
+            .is_some()
+            && master
+                .try_send(
+                    wid,
+                    Frame::new(
+                        Tag::new(FrameKind::BlockA, ch.i0, k),
+                        ap.col_run(ch.i0, k, ch.height),
+                    ),
+                    ch.height as u64,
+                )
+                .is_some();
+        if !sent {
+            return false;
+        }
+    }
+    if master
+        .try_send(wid, Frame::new(Tag::new(FrameKind::Control, 0, 0), Bytes::new()), 0)
+        .is_none()
+    {
+        return false;
+    }
+    recv_c_rows(master, wid, c, ch, q)
 }
 
 /// A resident B block together with its prepacked image: packed once
@@ -734,7 +937,9 @@ pub(crate) fn serve_run(
                 }
             }
             FrameKind::Shutdown => return RunExit::Terminate,
-            FrameKind::CResult | FrameKind::LuPanel => {
+            FrameKind::CResult | FrameKind::LuPanel | FrameKind::Heartbeat => {
+                // Heartbeats are swallowed inside `WorkerEndpoint::recv`
+                // before a program ever sees a frame.
                 unreachable!("master never sends {:?}", frame.tag.kind)
             }
         }

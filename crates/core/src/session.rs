@@ -137,6 +137,48 @@ impl RuntimeSession {
         heterogeneous_on(self, a, b, c, rule)
     }
 
+    /// Accept and enroll one more remote worker from `listener` between
+    /// runs, growing both the fleet and this session's platform by one
+    /// slot (see [`Session::admit`]): the next run's resource selection
+    /// sees the newcomer automatically.
+    pub fn admit(
+        &mut self,
+        listener: &TransportListener,
+        params: mwp_platform::WorkerParams,
+    ) -> std::io::Result<mwp_platform::WorkerId> {
+        let id = self.inner.admit(listener, params, SERVICE_MATRIX)?;
+        let mut workers = self.platform.workers().to_vec();
+        workers.push(params);
+        self.platform = Platform::new(workers).expect("platform with one more worker");
+        Ok(id)
+    }
+
+    /// Drop every worker declared dead, compacting the fleet and the
+    /// platform in lockstep (see [`Session::prune_dead`]). Returns how
+    /// many were removed.
+    pub fn prune_dead(&mut self) -> usize {
+        let removed = self.inner.prune_dead();
+        if !removed.is_empty() {
+            let workers: Vec<mwp_platform::WorkerParams> = self
+                .platform
+                .workers()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !removed.contains(i))
+                .map(|(_, w)| *w)
+                .collect();
+            self.platform = Platform::new(workers).expect("surviving platform is non-empty");
+        }
+        removed.len()
+    }
+
+    /// How many enrolled workers are currently flagged dead. A pooled
+    /// session with any dead worker is evicted instead of reused by the
+    /// `MWP_RUNTIME=session` entry points.
+    pub fn dead_workers(&self) -> usize {
+        self.inner.dead_workers()
+    }
+
     /// Orderly shutdown: wakes every parked worker with a shutdown frame
     /// and joins its thread. Returns the number of workers joined.
     /// Dropping the session without calling this does the same, silently.
@@ -176,6 +218,7 @@ pub(crate) fn with_session<R>(
         platform,
         time_scale,
         || RuntimeSession::new(platform, time_scale),
+        |session| session.dead_workers() == 0,
         |session| {
             session.shutdown();
         },

@@ -122,6 +122,46 @@ impl LuSession {
         lu_on(self, matrix, mu_blocks)
     }
 
+    /// Accept and enroll one more remote worker from `listener` between
+    /// runs, growing the fleet and the platform by one slot (see
+    /// [`Session::admit`]).
+    pub fn admit(
+        &mut self,
+        listener: &TransportListener,
+        params: mwp_platform::WorkerParams,
+    ) -> std::io::Result<mwp_platform::WorkerId> {
+        let id = self.inner.admit(listener, params, SERVICE_LU)?;
+        let mut workers = self.platform.workers().to_vec();
+        workers.push(params);
+        self.platform = Platform::new(workers).expect("platform with one more worker");
+        Ok(id)
+    }
+
+    /// Drop every worker declared dead, compacting the fleet and the
+    /// platform in lockstep (see [`Session::prune_dead`]). Returns how
+    /// many were removed.
+    pub fn prune_dead(&mut self) -> usize {
+        let removed = self.inner.prune_dead();
+        if !removed.is_empty() {
+            let workers: Vec<mwp_platform::WorkerParams> = self
+                .platform
+                .workers()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !removed.contains(i))
+                .map(|(_, w)| *w)
+                .collect();
+            self.platform = Platform::new(workers).expect("surviving platform is non-empty");
+        }
+        removed.len()
+    }
+
+    /// How many enrolled workers are currently flagged dead. A pooled
+    /// session with any dead worker is evicted instead of reused.
+    pub fn dead_workers(&self) -> usize {
+        self.inner.dead_workers()
+    }
+
     /// Orderly shutdown: joins every pooled worker thread and returns how
     /// many were joined. Dropping the session does the same, silently.
     pub fn shutdown(self) -> usize {
@@ -153,6 +193,7 @@ pub fn run_lu(
         platform,
         time_scale,
         || LuSession::new(platform, time_scale),
+        |session| session.dead_workers() == 0,
         |session| {
             session.shutdown();
         },
@@ -189,29 +230,40 @@ fn lu_on(session: &LuSession, matrix: &BlockMatrix, mu_blocks: usize) -> LuRunOu
     let mut k0 = 0;
     while k0 < n {
         let k1 = (k0 + nb).min(n);
-        // --- 1. Pivot factorization on worker 0. ------------------------
+        // --- 1. Pivot factorization on the pivot worker (the lowest
+        //        live id; historically worker 0, and still worker 0
+        //        until it dies). ----------------------------------------
         let pivot_in = a.submatrix(k0, k1, k0, k1);
-        send_task(master, &pool, WorkerId(0), OP_FACTOR, &[&pivot_in]);
-        let pivot = recv_dense(master, WorkerId(0));
-        messages += 2;
+        let pivot = pivot_exchange(master, &pool, enrolled, OP_FACTOR, &[&pivot_in], &mut messages);
         a.set_submatrix(k0, k0, &pivot);
 
         if k1 < n {
-            // --- 2. Vertical panel (x ← x·U⁻¹) on worker 0. -------------
+            // --- 2. Vertical panel (x ← x·U⁻¹) on the pivot worker. -----
             let vert_in = a.submatrix(k1, n, k0, k1);
-            send_task(master, &pool, WorkerId(0), OP_TRSM_RIGHT, &[&pivot, &vert_in]);
-            let vert = recv_dense(master, WorkerId(0));
-            messages += 2;
+            let vert = pivot_exchange(
+                master,
+                &pool,
+                enrolled,
+                OP_TRSM_RIGHT,
+                &[&pivot, &vert_in],
+                &mut messages,
+            );
             a.set_submatrix(k1, k0, &vert);
 
-            // --- 3. Horizontal panel (y ← L⁻¹·y) on worker 0. -----------
+            // --- 3. Horizontal panel (y ← L⁻¹·y) on the pivot worker. ---
             let horiz_in = a.submatrix(k0, k1, k1, n);
-            send_task(master, &pool, WorkerId(0), OP_TRSM_LEFT, &[&pivot, &horiz_in]);
-            let horiz = recv_dense(master, WorkerId(0));
-            messages += 2;
+            let horiz = pivot_exchange(
+                master,
+                &pool,
+                enrolled,
+                OP_TRSM_LEFT,
+                &[&pivot, &horiz_in],
+                &mut messages,
+            );
             a.set_submatrix(k0, k1, &horiz);
 
-            // --- 4. Core update, row groups round-robin. ----------------
+            // --- 4. Core update, row groups round-robin over the live
+            //        fleet. ----------------------------------------------
             // The core is square, so nb-deep row groups are exactly as
             // many (and as large) as the nb-wide column groups used
             // before — but partitioning by rows makes the *horizontal*
@@ -224,34 +276,97 @@ fn lu_on(session: &LuSession, matrix: &BlockMatrix, mu_blocks: usize) -> LuRunOu
                 groups.push((r0, r1));
                 r0 = r1;
             }
+            let live: Vec<WorkerId> =
+                (0..enrolled).map(WorkerId).filter(|&w| !master.is_dead(w)).collect();
+            assert!(!live.is_empty(), "every LU worker died mid-run");
             // The horizontal panel is common to every core update of this
             // step: encode it once and fan the same buffer out to each
             // worker that will compute at least one group (a refcount
-            // bump per send, zero copies).
+            // bump per send, zero copies). A worker the fanout fails on
+            // is condemned; its groups go to the re-dispatch pass below.
             let horiz_payload =
                 pool.bytes_with(parts_len(&[&horiz]), |buf| encode_parts_into(&[&horiz], buf));
-            for w in 0..enrolled.min(groups.len()) {
-                master.send(
-                    WorkerId(w),
-                    Frame::new(Tag::new(FrameKind::LuPanel, OP_SET_HORIZ, 0), horiz_payload.clone()),
-                    1,
-                );
-                messages += 1;
+            let mut got_horiz = vec![false; enrolled];
+            for w in live.iter().take(groups.len()) {
+                let frame =
+                    Frame::new(Tag::new(FrameKind::LuPanel, OP_SET_HORIZ, 0), horiz_payload.clone());
+                if master.try_send(*w, frame, 1).is_some() {
+                    got_horiz[w.index()] = true;
+                    messages += 1;
+                }
             }
             // Ship every group first (parallel compute), then collect.
+            // `assigned[g]` remembers which worker got group g, `None`
+            // when the ship already failed.
+            let mut assigned: Vec<Option<WorkerId>> = Vec::with_capacity(groups.len());
             for (g, &(r0, r1)) in groups.iter().enumerate() {
-                let to = WorkerId(g % enrolled);
-                let vert_g = vert.submatrix(r0 - k1, r1 - k1, 0, k1 - k0);
-                let core_g = a.submatrix(r0, r1, k1, n);
-                send_task(master, &pool, to, OP_CORE, &[&vert_g, &core_g]);
-                messages += 1;
+                let to = live[g % live.len()];
+                let shipped = !master.is_dead(to) && got_horiz[to.index()] && {
+                    let vert_g = vert.submatrix(r0 - k1, r1 - k1, 0, k1 - k0);
+                    let core_g = a.submatrix(r0, r1, k1, n);
+                    send_task(master, &pool, to, OP_CORE, &[&vert_g, &core_g])
+                };
+                if shipped {
+                    messages += 1;
+                }
+                assigned.push(shipped.then_some(to));
             }
+            // Collect; groups lost to a death anywhere in the exchange
+            // are re-dispatched. `a` is only mutated by a successfully
+            // collected group, so a lost group's inputs (`vert`, the
+            // core rows) are still pristine on the master and replay
+            // bit-identically on whichever survivor takes it.
+            let mut lost: Vec<usize> = Vec::new();
             for (g, &(r0, r1)) in groups.iter().enumerate() {
-                let from = WorkerId(g % enrolled);
-                let updated = recv_dense(master, from);
-                messages += 1;
-                debug_assert_eq!(updated.rows(), r1 - r0);
-                a.set_submatrix(r0, k1, &updated);
+                let collected = assigned[g].is_some_and(|from| {
+                    match recv_dense(master, from) {
+                        Some(updated) => {
+                            messages += 1;
+                            debug_assert_eq!(updated.rows(), r1 - r0);
+                            a.set_submatrix(r0, k1, &updated);
+                            true
+                        }
+                        None => false,
+                    }
+                });
+                if !collected {
+                    lost.push(g);
+                }
+            }
+            // Re-dispatch pass: serve each lost group on the lowest live
+            // worker, re-sending OP_SET_HORIZ first — the survivor's
+            // resident panel install is idempotent, and a worker beyond
+            // the original fanout never had it.
+            for g in lost {
+                let (r0, r1) = groups[g];
+                loop {
+                    let Some(wid) = (0..enrolled).map(WorkerId).find(|&w| !master.is_dead(w))
+                    else {
+                        panic!("every LU worker died mid-run: a core group cannot be re-dispatched")
+                    };
+                    let frame = Frame::new(
+                        Tag::new(FrameKind::LuPanel, OP_SET_HORIZ, 0),
+                        horiz_payload.clone(),
+                    );
+                    if master.try_send(wid, frame, 1).is_none() {
+                        continue;
+                    }
+                    messages += 1;
+                    let shipped = {
+                        let vert_g = vert.submatrix(r0 - k1, r1 - k1, 0, k1 - k0);
+                        let core_g = a.submatrix(r0, r1, k1, n);
+                        send_task(master, &pool, wid, OP_CORE, &[&vert_g, &core_g])
+                    };
+                    if !shipped {
+                        continue;
+                    }
+                    messages += 1;
+                    if let Some(updated) = recv_dense(master, wid) {
+                        messages += 1;
+                        a.set_submatrix(r0, k1, &updated);
+                        break;
+                    }
+                }
             }
         }
         k0 = k1;
@@ -377,25 +492,56 @@ pub fn serve_remote(ep: WorkerEndpoint) {
     serve_worker(ep, &mut program);
 }
 
+/// Run one pivot-phase exchange (factor/TRSM) on the lowest live worker,
+/// retrying on the next-lowest when that worker dies mid-exchange. The
+/// inputs all come from master state, so a retry replays the identical
+/// task; panics when the whole fleet is dead.
+fn pivot_exchange(
+    master: &mwp_msg::MasterEndpoint,
+    pool: &BufferPool,
+    enrolled: usize,
+    op: usize,
+    parts: &[&Dense],
+    messages: &mut u64,
+) -> Dense {
+    loop {
+        let Some(wid) = (0..enrolled).map(WorkerId).find(|&w| !master.is_dead(w)) else {
+            panic!("every LU worker died mid-run: pivot op {op} cannot be completed")
+        };
+        if send_task(master, pool, wid, op, parts) {
+            if let Some(result) = recv_dense(master, wid) {
+                *messages += 2;
+                return result;
+            }
+        }
+        // `wid` was condemned by the failed send or receive; the next
+        // loop iteration lands on the next-lowest live worker.
+    }
+}
+
+/// Failure-aware task send: `false` (with `to` condemned) when the
+/// worker's link is dead.
 fn send_task(
     master: &mwp_msg::MasterEndpoint,
     pool: &BufferPool,
     to: WorkerId,
     op: usize,
     parts: &[&Dense],
-) {
+) -> bool {
     let payload = pool.bytes_with(parts_len(parts), |buf| encode_parts_into(parts, buf));
     // Block accounting: total coefficients / q² is what the cost model
     // would count; the runtime meters whole messages instead.
-    master.send(to, Frame::new(Tag::new(FrameKind::LuPanel, op, 0), payload), 1);
+    master.try_send(to, Frame::new(Tag::new(FrameKind::LuPanel, op, 0), payload), 1).is_some()
 }
 
-fn recv_dense(master: &mwp_msg::MasterEndpoint, from: WorkerId) -> Dense {
-    let (frame, _) = master.recv(from, 1).expect("worker died mid-task");
-    decode_parts(&frame.payload)
-        .into_iter()
-        .next()
-        .expect("result payload")
+/// Failure-aware result receive: `None` — with `from` marked dead — when
+/// the worker dies or stays silent past the liveness deadline.
+fn recv_dense(master: &mwp_msg::MasterEndpoint, from: WorkerId) -> Option<Dense> {
+    let Some((frame, _)) = master.recv_deadline(from, 1) else {
+        master.mark_dead(from);
+        return None;
+    };
+    Some(decode_parts(&frame.payload).into_iter().next().expect("result payload"))
 }
 
 /// Total encoded size of a parts sequence.

@@ -1,6 +1,6 @@
 //! Master and worker endpoints: the user-facing API of the message layer.
 
-use crate::frame::Frame;
+use crate::frame::{Frame, FrameKind};
 use crate::link::{MasterSide, WorkerSide};
 use crate::pool::BufferPool;
 use crate::port::OnePort;
@@ -97,6 +97,61 @@ impl MasterEndpoint {
         self.links[to.index()].send_lossy(frame, 0);
     }
 
+    /// Failure-aware send: `Some(cost)` when the frame reached `to`'s
+    /// link, `None` when that worker is dead (its link channel closed, or
+    /// it was already declared dead). Unlike [`MasterEndpoint::send`],
+    /// which panics on a closed link, this is the primitive the
+    /// fault-tolerant schedulers build on: a `None` marks the link dead
+    /// (see [`MasterEndpoint::mark_dead`]) and the caller re-plans.
+    pub fn try_send(&self, to: WorkerId, frame: Frame, blocks: u64) -> Option<f64> {
+        let _guard = self.port.acquire();
+        self.links[to.index()].try_send(frame, blocks)
+    }
+
+    /// Receive from `from` under the process-wide liveness deadline
+    /// (`MWP_DEADLINE_MS`; see [`crate::transport::liveness`]). `None`
+    /// means the worker is dead or wedged past the detection bound — the
+    /// caller should [`MasterEndpoint::mark_dead`] it and re-dispatch its
+    /// outstanding work. With liveness disabled this is a plain blocking
+    /// receive, where only a closed link (worker exit, pump death)
+    /// returns `None`.
+    pub fn recv_deadline(&self, from: WorkerId, blocks: u64) -> Option<(Frame, f64)> {
+        if self.links[from.index()].is_dead() {
+            return None;
+        }
+        match crate::transport::liveness() {
+            Some((_, deadline)) => self.recv_timeout(from, blocks, deadline),
+            None => self.recv(from, blocks).ok(),
+        }
+    }
+
+    /// Whether `w`'s link has been declared dead.
+    pub fn is_dead(&self, w: WorkerId) -> bool {
+        self.links[w.index()].is_dead()
+    }
+
+    /// Permanently declare `w` dead: no further frame is sent to or
+    /// accepted from its link this session (a wedged worker waking up
+    /// late must not inject stale frames into a later exchange).
+    pub fn mark_dead(&self, w: WorkerId) {
+        self.links[w.index()].mark_dead();
+    }
+
+    /// Append a link for a newly enrolled worker (elastic membership);
+    /// returns its id.
+    pub(crate) fn add_link(&mut self, side: MasterSide) -> WorkerId {
+        self.links.push(side);
+        WorkerId(self.links.len() - 1)
+    }
+
+    /// Remove a link by index (elastic membership: disenrollment or
+    /// pruning a dead worker). Later workers shift down one slot —
+    /// master-side routing is structural, so surviving links keep
+    /// working under their new ids.
+    pub(crate) fn remove_link(&mut self, idx: usize) -> MasterSide {
+        self.links.remove(idx)
+    }
+
     /// Per-link statistics snapshot.
     pub fn link_stats(&self, w: WorkerId) -> LinkSnapshot {
         self.links[w.index()].stats().snapshot()
@@ -117,14 +172,16 @@ impl MasterEndpoint {
 
 /// How a worker endpoint reaches its master: an in-process channel pair,
 /// or the read/write halves of a framed socket (the remote-worker case —
-/// see [`crate::transport`]). The halves sit behind mutexes only to keep
-/// `recv`/`send` on `&self`; a worker drives its endpoint from one
-/// thread, so the locks are never contended.
+/// see [`crate::transport`]). The reader sits behind a mutex only to keep
+/// `recv` on `&self` (a worker drives its endpoint from one thread); the
+/// writer is additionally shared with the endpoint's heartbeat thread,
+/// which interleaves liveness probes between result frames while the
+/// worker computes — the only time the writer lock is ever contended.
 enum Route {
     Channel(WorkerSide),
     Remote {
         reader: parking_lot::Mutex<Box<dyn crate::transport::FrameRead>>,
-        writer: parking_lot::Mutex<Box<dyn crate::transport::FrameWrite>>,
+        writer: std::sync::Arc<parking_lot::Mutex<Box<dyn crate::transport::FrameWrite>>>,
     },
 }
 
@@ -139,28 +196,57 @@ pub struct WorkerEndpoint {
     id: WorkerId,
     route: Route,
     pool: BufferPool,
+    /// Dropping this (with the endpoint) stops the heartbeat thread on
+    /// its next wakeup — the thread's timed receive observes the
+    /// disconnect immediately, so no join is needed.
+    _hb_stop: Option<crossbeam::channel::Sender<()>>,
 }
 
 impl WorkerEndpoint {
     pub(crate) fn new(id: WorkerId, link: WorkerSide) -> Self {
-        WorkerEndpoint { id, route: Route::Channel(link), pool: BufferPool::new() }
+        WorkerEndpoint { id, route: Route::Channel(link), pool: BufferPool::new(), _hb_stop: None }
     }
 
     /// A remote worker's endpoint: frames travel over the framed stream
     /// halves instead of a channel. Built by [`crate::transport::enroll`]
     /// after the handshake assigns the id.
+    ///
+    /// When liveness is enabled (see [`crate::transport::liveness`]) a
+    /// heartbeat thread sends a probe every `MWP_HEARTBEAT_MS` over the
+    /// shared writer, so the master keeps seeing traffic even while this
+    /// worker's serving thread is deep in a long kernel call — a slow
+    /// worker must not be mistaken for a dead one.
     pub(crate) fn remote(
         id: WorkerId,
         reader: Box<dyn crate::transport::FrameRead>,
         writer: Box<dyn crate::transport::FrameWrite>,
     ) -> Self {
+        let writer = std::sync::Arc::new(parking_lot::Mutex::new(writer));
+        let hb_stop = crate::transport::liveness().map(|(interval, _)| {
+            let (stop_tx, stop_rx) = crossbeam::channel::unbounded::<()>();
+            let hb_writer = std::sync::Arc::clone(&writer);
+            std::thread::Builder::new()
+                .name(format!("mwp-heartbeat-{}", id.index()))
+                .spawn(move || {
+                    // Timeout = tick; any other outcome (a stop signal or
+                    // the endpoint dropping the sender) ends the thread.
+                    while matches!(
+                        stop_rx.recv_timeout(interval),
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout)
+                    ) {
+                        if hb_writer.lock().send_frame(&Frame::heartbeat()).is_err() {
+                            break; // master gone: the serving thread will see it too
+                        }
+                    }
+                })
+                .expect("spawn heartbeat thread");
+            stop_tx
+        });
         WorkerEndpoint {
             id,
-            route: Route::Remote {
-                reader: parking_lot::Mutex::new(reader),
-                writer: parking_lot::Mutex::new(writer),
-            },
+            route: Route::Remote { reader: parking_lot::Mutex::new(reader), writer },
             pool: BufferPool::new(),
+            _hb_stop: hb_stop,
         }
     }
 
@@ -172,14 +258,22 @@ impl WorkerEndpoint {
     /// Blocking receive of the next frame from the master. On the socket
     /// route, a clean peer close or a transport error surfaces as the
     /// same [`RecvError`] a dropped channel produces — worker programs
-    /// treat both as "master gone".
+    /// treat both as "master gone". The master's idle-link heartbeats are
+    /// swallowed here: no worker program ever sees a liveness probe, and
+    /// each one resets the socket's read deadline simply by arriving.
     pub fn recv(&self) -> Result<Frame, RecvError> {
         match &self.route {
             Route::Channel(link) => link.recv(),
-            Route::Remote { reader, .. } => match reader.lock().recv_frame() {
-                Ok(Some(frame)) => Ok(frame),
-                Ok(None) | Err(_) => Err(RecvError),
-            },
+            Route::Remote { reader, .. } => {
+                let mut reader = reader.lock();
+                loop {
+                    match reader.recv_frame() {
+                        Ok(Some(frame)) if frame.tag.kind == FrameKind::Heartbeat => continue,
+                        Ok(Some(frame)) => return Ok(frame),
+                        Ok(None) | Err(_) => return Err(RecvError),
+                    }
+                }
+            }
         }
     }
 

@@ -36,6 +36,12 @@ pub enum FrameKind {
     Control,
     /// Orderly end-of-stream: the worker should drain and exit.
     Shutdown,
+    /// Liveness probe exchanged on idle socket links. Heartbeats are
+    /// swallowed by the receiving pump/endpoint before any program sees
+    /// them, carry no payload, and are never metered (the paper's cost
+    /// model has no control traffic, and heartbeats only flow when a
+    /// link is otherwise idle).
+    Heartbeat,
 }
 
 impl FrameKind {
@@ -49,6 +55,7 @@ impl FrameKind {
             FrameKind::LuPanel => 4,
             FrameKind::Control => 5,
             FrameKind::Shutdown => 6,
+            FrameKind::Heartbeat => 7,
         }
     }
 
@@ -62,6 +69,7 @@ impl FrameKind {
             4 => FrameKind::LuPanel,
             5 => FrameKind::Control,
             6 => FrameKind::Shutdown,
+            7 => FrameKind::Heartbeat,
             _ => return None,
         })
     }
@@ -69,7 +77,7 @@ impl FrameKind {
     /// Whether frames of this kind count as matrix-block traffic in the
     /// per-link statistics (control traffic is free in the paper's model).
     pub fn is_block(self) -> bool {
-        !matches!(self, FrameKind::Control | FrameKind::Shutdown)
+        !matches!(self, FrameKind::Control | FrameKind::Shutdown | FrameKind::Heartbeat)
     }
 
     /// The payload quantum a frame of this kind must respect for block
@@ -84,7 +92,7 @@ impl FrameKind {
             FrameKind::BlockA | FrameKind::BlockB | FrameKind::BlockC | FrameKind::CResult => {
                 Some(q * q * 8)
             }
-            FrameKind::Shutdown => Some(0),
+            FrameKind::Shutdown | FrameKind::Heartbeat => Some(0),
             FrameKind::Control | FrameKind::LuPanel => None,
         }
     }
@@ -128,6 +136,14 @@ impl Frame {
     pub fn shutdown() -> Self {
         Frame {
             tag: Tag::new(FrameKind::Shutdown, 0, 0),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// A liveness-probe frame (empty payload, unmetered).
+    pub fn heartbeat() -> Self {
+        Frame {
+            tag: Tag::new(FrameKind::Heartbeat, 0, 0),
             payload: Bytes::new(),
         }
     }
@@ -237,6 +253,7 @@ mod tests {
             FrameKind::LuPanel,
             FrameKind::Control,
             FrameKind::Shutdown,
+            FrameKind::Heartbeat,
         ] {
             let f = Frame::new(Tag::new(kind, 1, 2), Bytes::new());
             assert_eq!(Frame::decode(&f.encode()).unwrap().tag.kind, kind);
@@ -270,7 +287,7 @@ mod tests {
         let header_only = Frame::decode_bytes(Bytes::from(full[..9].to_vec())).unwrap();
         assert!(header_only.payload.is_empty());
         // Every unknown kind byte is rejected.
-        for bad_kind in [7u8, 100, 255] {
+        for bad_kind in [8u8, 100, 255] {
             let mut wire = full.clone();
             wire[0] = bad_kind;
             assert!(Frame::decode_bytes(Bytes::from(wire)).is_none(), "kind {bad_kind}");
@@ -289,6 +306,7 @@ mod tests {
         assert!(FrameKind::CResult.is_block());
         assert!(!FrameKind::Control.is_block());
         assert!(!FrameKind::Shutdown.is_block());
+        assert!(!FrameKind::Heartbeat.is_block());
     }
 
     #[test]
@@ -317,6 +335,7 @@ mod tests {
             assert_eq!(kind.expected_payload_len(q), Some(128));
         }
         assert_eq!(FrameKind::Shutdown.expected_payload_len(q), Some(0));
+        assert_eq!(FrameKind::Heartbeat.expected_payload_len(q), Some(0));
         assert_eq!(FrameKind::Control.expected_payload_len(q), None);
         assert_eq!(FrameKind::LuPanel.expected_payload_len(q), None);
     }

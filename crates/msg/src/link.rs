@@ -9,6 +9,8 @@
 use crate::frame::Frame;
 use crate::stats::LinkStats;
 use crossbeam::channel::{unbounded, Receiver, RecvError, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Shared pacing configuration of the whole network.
@@ -129,6 +131,7 @@ impl Link {
                 stats: stats.clone(),
                 tx: self.to_worker_tx,
                 rx: self.to_master_rx,
+                dead: Arc::new(AtomicBool::new(false)),
             },
             WorkerSide {
                 rx: self.to_worker_rx,
@@ -146,9 +149,30 @@ pub struct MasterSide {
     stats: LinkStats,
     tx: Sender<Frame>,
     rx: Receiver<Frame>,
+    /// Sticky liveness verdict for this link. Set by the failure-aware
+    /// scheduling layer (deadline expiry, failed send) or by a socket
+    /// link's in-pump when the stream dies; once dead, a link is never
+    /// used again — a wedged worker that wakes up late must not be able
+    /// to inject stale frames into a later exchange.
+    dead: Arc<AtomicBool>,
 }
 
 impl MasterSide {
+    /// Whether this link has been declared dead (see [`MasterSide::mark_dead`]).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Permanently declare the worker behind this link dead.
+    pub fn mark_dead(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+
+    /// A shared handle to the death flag, for transport pumps that learn
+    /// about the peer's fate on their own thread.
+    pub(crate) fn death_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.dead)
+    }
     /// Paced send; returns model-time cost.
     pub fn send(&self, frame: Frame, blocks: u64) -> f64 {
         self.send_inner(frame, blocks, false)
@@ -159,6 +183,30 @@ impl MasterSide {
     /// panicking, and nothing is metered for the undelivered frame.
     pub fn send_lossy(&self, frame: Frame, blocks: u64) -> f64 {
         self.send_inner(frame, blocks, true)
+    }
+
+    /// Failure-aware send: `Some(cost)` when the frame was delivered,
+    /// `None` when the link is (or just turned out to be) dead — the
+    /// channel closed because the worker exited or its transport pump
+    /// died. A link already known dead is paced and metered for nothing,
+    /// and an undelivered frame is never metered — a declared-dead worker
+    /// costs no model time.
+    pub fn try_send(&self, frame: Frame, blocks: u64) -> Option<f64> {
+        if self.is_dead() {
+            return None;
+        }
+        let start = Instant::now();
+        let cost = blocks as f64 * self.c;
+        self.pacing.pace(cost);
+        let wire_len = frame.wire_len();
+        let metered = metered_blocks(&frame, blocks);
+        if self.tx.send(frame).is_err() {
+            self.mark_dead();
+            return None;
+        }
+        self.stats.record_to_worker(wire_len, metered);
+        self.stats.record_port_busy(start.elapsed().as_nanos() as u64);
+        Some(cost)
     }
 
     fn send_inner(&self, frame: Frame, blocks: u64, lossy: bool) -> f64 {

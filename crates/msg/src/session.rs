@@ -96,6 +96,9 @@ pub struct Session {
     /// Fingerprint bytes each enrolled connection presented (socket
     /// transports only; empty per worker on the channel transport).
     fingerprints: Vec<Vec<u8>>,
+    /// The pacing every link was attached with — kept so workers
+    /// admitted later ([`Session::admit`]) join under identical terms.
+    pacing: Pacing,
     /// Held from `begin_run` to `finish_run` via the [`RunEpoch`].
     run_lock: Mutex<()>,
 }
@@ -152,6 +155,7 @@ impl Session {
                     handles,
                     pumps: Vec::new(),
                     fingerprints: vec![Vec::new(); platform.len()],
+                    pacing: Pacing { time_scale },
                     run_lock: Mutex::new(()),
                 }
             }
@@ -200,7 +204,14 @@ impl Session {
         let (master, pumps, fingerprints) =
             accept_star(&listener, platform, time_scale, SERVICE_INPROC, Some(&fp), &handles)
                 .expect("accept loopback workers");
-        Session { master, handles, pumps, fingerprints, run_lock: Mutex::new(()) }
+        Session {
+            master,
+            handles,
+            pumps,
+            fingerprints,
+            pacing: Pacing { time_scale },
+            run_lock: Mutex::new(()),
+        }
     }
 
     /// Build a session whose workers are **remote processes**: accept one
@@ -229,8 +240,118 @@ impl Session {
             handles: Vec::new(),
             pumps,
             fingerprints,
+            pacing: Pacing { time_scale },
             run_lock: Mutex::new(()),
         })
+    }
+
+    /// **Elastic enrollment**: accept and enroll one more worker from
+    /// `listener` *between runs*, growing the fleet by one slot. The new
+    /// worker gets the next free id (a claimed slot must match it),
+    /// `params` as its link/memory terms, and the session's own pacing;
+    /// its link joins the one-port arbiter like any original member, so
+    /// the next run's selection algorithms see it automatically.
+    ///
+    /// Exclusivity with runs is structural: `admit` takes `&mut self`,
+    /// which cannot coexist with an open [`RunEpoch`] borrow.
+    pub fn admit(
+        &mut self,
+        listener: &TransportListener,
+        params: WorkerParams,
+        service: u8,
+    ) -> io::Result<WorkerId> {
+        let mut stream = listener.accept()?;
+        let peer = stream.peer();
+        stream.set_read_timeout(Some(transport::handshake_timeout()))?;
+        let hello = transport::parse_hello(&transport::expect_frame(
+            stream.recv_frame_capped(transport::MAX_HANDSHAKE_WIRE_LEN)?,
+            "hello",
+        )?)?;
+        let id = WorkerId(self.master.workers());
+        if let Some(claimed) = hello.claimed {
+            if claimed != id {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{peer} claimed slot {} but the next open slot is {}",
+                        claimed.index(),
+                        id.index()
+                    ),
+                ));
+            }
+        }
+        stream.send_frame(&transport::welcome_frame(&Welcome {
+            worker: id,
+            c: params.c,
+            w: params.w,
+            m: params.m as u64,
+            time_scale: self.pacing.time_scale,
+            service,
+        }))?;
+        // Same deadline discipline as `accept_star`: liveness read
+        // deadline in place before the split so the in-pump's cloned
+        // reader carries it.
+        stream.set_read_timeout(transport::liveness().map(|(_, deadline)| deadline))?;
+        let (reader, writer) = stream.split()?;
+        let (side, link_pumps) =
+            RemoteLink::attach(reader, writer, params.c, self.pacing, id).into_parts();
+        let assigned = self.master.add_link(side);
+        debug_assert_eq!(assigned, id);
+        self.fingerprints.push(hello.fingerprint);
+        self.pumps.extend(link_pumps);
+        Ok(id)
+    }
+
+    /// **Elastic disenrollment**: drop every link whose death flag is
+    /// set (heartbeat deadline missed, socket error, or an explicit
+    /// `mark_dead` from a failure-aware scheduler), compacting the
+    /// surviving workers down to ids `0..workers()`. Returns the
+    /// removed workers' **pre-prune** indices, ascending, so callers
+    /// tracking per-worker state (e.g. a platform description) can
+    /// compact in lockstep.
+    ///
+    /// Survivors shifting down is safe: master-side routing is purely
+    /// structural (links are addressed by index) and no data frame
+    /// carries a worker id, so neither side needs renumbering. A pruned
+    /// link that was still half-alive gets a shutdown frame from its
+    /// dying out-pump, so a wrongly-condemned worker process exits
+    /// orderly instead of leaking.
+    pub fn prune_dead(&mut self) -> Vec<usize> {
+        let mut removed = Vec::new();
+        let mut idx = 0;
+        let mut original = 0;
+        while idx < self.master.workers() {
+            if self.master.is_dead(WorkerId(idx)) {
+                drop(self.master.remove_link(idx));
+                self.fingerprints.remove(idx);
+                removed.push(original);
+            } else {
+                idx += 1;
+            }
+            original += 1;
+        }
+        if !removed.is_empty() {
+            // Reap the pump threads the dropped links no longer need.
+            // They exit on their own — the in-pump on the dead socket,
+            // the out-pump when the link's channel sender drops — but
+            // possibly not instantly, so only finished ones are joined
+            // here; stragglers wait for teardown.
+            let pumps = std::mem::take(&mut self.pumps);
+            for pump in pumps {
+                if pump.is_finished() {
+                    let _ = pump.join();
+                } else {
+                    self.pumps.push(pump);
+                }
+            }
+        }
+        removed
+    }
+
+    /// How many enrolled workers are currently flagged dead (their
+    /// links will be dropped by the next [`Session::prune_dead`]).
+    pub fn dead_workers(&self) -> usize {
+        (0..self.master.workers()).filter(|&i| self.master.is_dead(WorkerId(i))).count()
     }
 
     /// The fingerprint bytes each worker presented at enrollment, in slot
@@ -419,10 +540,16 @@ fn accept_star(
                 time_scale,
                 service,
             }))?;
-            // Enrolled: clear the handshake deadline (session workers
-            // park on blocking reads by design) and split into the
-            // link's pump halves.
-            stream.set_read_timeout(None)?;
+            // Enrolled: swap the handshake deadline for the liveness
+            // deadline (or clear it entirely when liveness is off —
+            // session workers park on blocking reads by design). This
+            // runs **before** `split()` so the cloned reader the
+            // in-pump blocks on inherits the deadline: a worker that
+            // goes silent longer than `MWP_DEADLINE_MS` surfaces as a
+            // timed-out read, which the pump turns into the link's
+            // death flag. Idle-but-alive workers never trip it — their
+            // heartbeat thread keeps frames flowing.
+            stream.set_read_timeout(transport::liveness().map(|(_, deadline)| deadline))?;
             let (reader, writer) = stream.split()?;
             let link = RemoteLink::attach(reader, writer, params.c, pacing, id);
             let (side, link_pumps) = link.into_parts();
@@ -632,6 +759,24 @@ impl<S> SessionPool<S> {
         build: impl Fn() -> S,
         f: impl FnOnce(&S) -> R,
     ) -> R {
+        self.with_checked(platform, time_scale, build, |_| true, f)
+    }
+
+    /// [`SessionPool::with`] plus a health check on cached entries: a
+    /// pre-existing session that fails `healthy` — typically because a
+    /// remote worker died (transport error, missed heartbeat deadline)
+    /// since its last run — is evicted and rebuilt exactly like a
+    /// poisoned one, so transport death is handled by the same
+    /// machinery as a caller panic. A freshly built session is served
+    /// without being checked.
+    pub fn with_checked<R>(
+        &self,
+        platform: &Platform,
+        time_scale: f64,
+        build: impl Fn() -> S,
+        healthy: impl Fn(&S) -> bool,
+        f: impl FnOnce(&S) -> R,
+    ) -> R {
         let key = fingerprint(platform, time_scale);
         let mut f = Some(f);
         loop {
@@ -644,10 +789,18 @@ impl<S> SessionPool<S> {
                 self.evict(&key, &shared);
                 continue;
             }
-            if guard.session.is_none() {
-                // First use (or a retry after build itself panicked, which
-                // leaves the entry empty and unpoisoned).
-                guard.session = Some(build());
+            match guard.session.as_ref() {
+                Some(session) if !healthy(session) => {
+                    // A dead remote worker makes the cached session as
+                    // unusable as a poisoned one: evict and rebuild.
+                    drop(guard);
+                    self.evict(&key, &shared);
+                    continue;
+                }
+                Some(_) => {}
+                // First use (or a retry after build itself panicked,
+                // which leaves the entry empty and unpoisoned).
+                None => guard.session = Some(build()),
             }
             let PoolEntry { session, poisoned } = &mut *guard;
             let sentinel = PoisonOnUnwind { flag: poisoned };
@@ -668,12 +821,15 @@ impl<S> Default for SessionPool<S> {
 /// The shared entry-point shape of the one-shot `run_*` wrappers: spawn a
 /// throwaway session per call under [`RuntimeMode::FreshSpawn`] (with an
 /// explicit `shutdown` so worker panics propagate), or serve the run from
-/// `pool` under [`RuntimeMode::PooledSession`].
+/// `pool` under [`RuntimeMode::PooledSession`]. `healthy` gates pooled
+/// reuse: a cached session failing it — a remote worker died since its
+/// last run — is evicted and rebuilt (see [`SessionPool::with_checked`]).
 pub fn run_with_mode<S, R>(
     pool: &SessionPool<S>,
     platform: &Platform,
     time_scale: f64,
     build: impl Fn() -> S,
+    healthy: impl Fn(&S) -> bool,
     shutdown: impl FnOnce(S),
     f: impl FnOnce(&S) -> R,
 ) -> R {
@@ -684,7 +840,7 @@ pub fn run_with_mode<S, R>(
             shutdown(session);
             out
         }
-        RuntimeMode::PooledSession => pool.with(platform, time_scale, build, f),
+        RuntimeMode::PooledSession => pool.with_checked(platform, time_scale, build, healthy, f),
     }
 }
 
@@ -801,6 +957,135 @@ mod tests {
         // desynced one.
         assert_eq!(pool.with(&pf, 0.0, build, |s| *s), 2);
         assert_eq!(pool.with(&pf, 0.0, build, |s| *s), 2, "the rebuilt entry is reused");
+    }
+
+    #[test]
+    fn pool_evicts_sessions_failing_the_health_check() {
+        // The transport-death analogue of
+        // `pool_evicts_poisoned_sessions_after_a_panic`: an entry whose
+        // session reports unhealthy (a remote worker died) must be
+        // evicted and rebuilt, not handed out again.
+        let pool: SessionPool<u32> = SessionPool::new();
+        let pf = Platform::homogeneous(2, 1.0, 1.0, 8).unwrap();
+        let builds = std::cell::Cell::new(0u32);
+        let build = || {
+            builds.set(builds.get() + 1);
+            builds.get()
+        };
+        let healthy = |s: &u32| *s != 1; // session 1 "lost a worker"
+        assert_eq!(pool.with_checked(&pf, 0.0, build, healthy, |s| *s), 1);
+        // The next caller sees the unhealthy cached entry, evicts it,
+        // and is served a freshly built session…
+        assert_eq!(pool.with_checked(&pf, 0.0, build, healthy, |s| *s), 2);
+        // …which, being healthy, is then reused.
+        assert_eq!(pool.with_checked(&pf, 0.0, build, healthy, |s| *s), 2);
+    }
+
+    #[test]
+    fn admit_grows_a_remote_session_between_runs() {
+        // Start a remote star with one worker, serve a run, then enroll
+        // a second worker on the still-open listener and serve a run on
+        // both: the fleet grew without tearing the session down.
+        let platform = Platform::homogeneous(1, 1.0, 1.0, 8).unwrap();
+        let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+        let endpoint = listener.endpoint();
+        let dial = |claim: Option<WorkerId>| {
+            let endpoint = endpoint.clone();
+            thread::spawn(move || {
+                let stream = transport::connect_with_retry(
+                    &endpoint,
+                    std::time::Duration::from_secs(10),
+                )
+                .unwrap();
+                let (ep, _welcome) = transport::enroll(stream, claim, b"elastic").unwrap();
+                serve_worker(ep, &mut echo_program);
+            })
+        };
+        let w0 = dial(None);
+        let mut session =
+            Session::accept_remote(&platform, 0.0, &listener, SERVICE_INPROC).unwrap();
+        assert_eq!(session.workers(), 1);
+        let epoch = session.begin_run(1, 1);
+        session.master().send(
+            WorkerId(0),
+            Frame::new(Tag::new(FrameKind::BlockA, 0, 0), Bytes::from_static(b"x")),
+            1,
+        );
+        assert!(session.master().recv(WorkerId(0), 1).is_ok());
+        session.finish_run(1, epoch);
+        // Between runs: a new worker dials in and is admitted.
+        let w1 = dial(None);
+        let id = session
+            .admit(&listener, WorkerParams { c: 1.0, w: 1.0, m: 8 }, SERVICE_INPROC)
+            .unwrap();
+        assert_eq!(id, WorkerId(1));
+        assert_eq!(session.workers(), 2);
+        assert_eq!(session.worker_fingerprints()[1], b"elastic".to_vec());
+        let epoch = session.begin_run(2, 2);
+        for w in 0..2 {
+            session.master().send(
+                WorkerId(w),
+                Frame::new(Tag::new(FrameKind::BlockA, w, 0), Bytes::from_static(b"y")),
+                1,
+            );
+        }
+        for w in 0..2 {
+            let (frame, _) = session.master().recv(WorkerId(w), 1).unwrap();
+            assert_eq!(frame.tag.j, 2, "the admitted worker serves runs like any other");
+        }
+        session.finish_run(2, epoch);
+        drop(session);
+        w0.join().unwrap();
+        w1.join().unwrap();
+    }
+
+    #[test]
+    fn prune_dead_compacts_the_fleet() {
+        // Two remote workers; one is declared dead between runs. Prune
+        // drops its link and the survivor (shifted down to slot 0 if it
+        // was above) keeps serving runs.
+        let platform = Platform::homogeneous(2, 1.0, 1.0, 8).unwrap();
+        let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+        let endpoint = listener.endpoint();
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let endpoint = endpoint.clone();
+                thread::spawn(move || {
+                    let stream = transport::connect_with_retry(
+                        &endpoint,
+                        std::time::Duration::from_secs(10),
+                    )
+                    .unwrap();
+                    let (ep, _welcome) = transport::enroll(stream, None, b"fleet").unwrap();
+                    serve_worker(ep, &mut echo_program);
+                })
+            })
+            .collect();
+        let mut session =
+            Session::accept_remote(&platform, 0.0, &listener, SERVICE_INPROC).unwrap();
+        assert_eq!(session.dead_workers(), 0);
+        session.master().mark_dead(WorkerId(0));
+        assert_eq!(session.dead_workers(), 1);
+        assert_eq!(session.prune_dead(), vec![0]);
+        assert_eq!(session.workers(), 1);
+        assert_eq!(session.dead_workers(), 0);
+        // The survivor still serves a run at its new slot 0.
+        let epoch = session.begin_run(1, 3);
+        session.master().send(
+            WorkerId(0),
+            Frame::new(Tag::new(FrameKind::BlockB, 0, 0), Bytes::from_static(b"z")),
+            1,
+        );
+        let (frame, _) = session.master().recv(WorkerId(0), 1).unwrap();
+        assert_eq!(frame.tag.j, 3);
+        session.finish_run(1, epoch);
+        drop(session);
+        // Both worker threads exit orderly: the survivor on the
+        // teardown shutdown frame, the pruned one on the shutdown its
+        // dying out-pump synthesized.
+        for w in workers {
+            w.join().unwrap();
+        }
     }
 
     #[test]

@@ -109,6 +109,63 @@ pub fn transport_mode() -> TransportMode {
 }
 
 // ---------------------------------------------------------------------------
+// Liveness configuration
+// ---------------------------------------------------------------------------
+
+/// Default heartbeat period on idle socket links (`MWP_HEARTBEAT_MS`).
+pub const DEFAULT_HEARTBEAT_MS: u64 = 1000;
+/// Default silence budget before a socket peer is declared dead
+/// (`MWP_DEADLINE_MS`). Must exceed the heartbeat period — a healthy
+/// peer proves liveness several times per deadline window.
+pub const DEFAULT_DEADLINE_MS: u64 = 10_000;
+
+/// Parse a `MWP_*_MS` millisecond value: empty means "no override"
+/// (`None`), anything else must be a whole number of milliseconds.
+/// Strict, like `MWP_KERNEL`/`MWP_TRANSPORT`: garbage is an error, never
+/// a silent fallback.
+pub fn parse_millis(value: &str) -> Result<Option<u64>, String> {
+    let v = value.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    v.parse::<u64>()
+        .map(Some)
+        .map_err(|_| format!("'{value}' is not a whole number of milliseconds"))
+}
+
+/// The liveness layer's configuration: `Some((heartbeat, deadline))`
+/// when enabled, `None` when either `MWP_HEARTBEAT_MS=0` or
+/// `MWP_DEADLINE_MS=0` switched it off.
+///
+/// When enabled, socket links carry [`Frame::heartbeat`] probes whenever
+/// a direction is idle for a heartbeat period, every socket read runs
+/// under the deadline, and the failure-aware schedulers treat a worker
+/// silent past the deadline as dead. The environment is re-read on each
+/// call (like [`handshake_timeout`], and unlike the once-per-process
+/// mode switches) so tests can stage different detection bounds within
+/// one process.
+pub fn liveness() -> Option<(Duration, Duration)> {
+    let get = |name: &str, default: u64| match std::env::var(name) {
+        Ok(v) => parse_millis(&v)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .unwrap_or(default),
+        Err(_) => default,
+    };
+    let heartbeat = get("MWP_HEARTBEAT_MS", DEFAULT_HEARTBEAT_MS);
+    let deadline = get("MWP_DEADLINE_MS", DEFAULT_DEADLINE_MS);
+    if heartbeat == 0 || deadline == 0 {
+        return None;
+    }
+    assert!(
+        deadline > heartbeat,
+        "MWP_DEADLINE_MS ({deadline}) must exceed MWP_HEARTBEAT_MS ({heartbeat}): \
+         a peer must get several heartbeats per deadline window or healthy \
+         links would be declared dead"
+    );
+    Some((Duration::from_millis(heartbeat), Duration::from_millis(deadline)))
+}
+
+// ---------------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------------
 
@@ -520,14 +577,329 @@ pub fn connect(endpoint: &str) -> io::Result<Box<dyn FrameStream>> {
     ))
 }
 
+/// An exponential-backoff retry schedule with jitter and a total-deadline
+/// cap. Pure arithmetic over an **injected clock** (the caller reports
+/// elapsed time), so the exact schedule is unit-testable without
+/// sleeping, and deterministic for a fixed seed.
+///
+/// Each attempt's nominal delay doubles from `base` up to `max`; the
+/// issued delay is jittered to 50–100% of nominal (decorrelating a herd
+/// of workers that all found the master's port closed at the same
+/// instant) and clipped so `elapsed + delay` never overshoots `deadline`.
+pub struct Backoff {
+    next: Duration,
+    max: Duration,
+    deadline: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, doubling up to `max`, expiring at
+    /// `deadline` total elapsed time. `seed` drives the jitter.
+    pub fn new(base: Duration, max: Duration, deadline: Duration, seed: u64) -> Self {
+        Backoff { next: base.max(Duration::from_millis(1)), max, deadline, rng: seed | 1 }
+    }
+
+    /// The schedule [`connect_with_retry`] uses: 10 ms doubling to 640 ms,
+    /// seeded per process.
+    pub fn for_dial(deadline: Duration) -> Self {
+        Backoff::new(
+            Duration::from_millis(10),
+            Duration::from_millis(640),
+            deadline,
+            u64::from(std::process::id()),
+        )
+    }
+
+    /// The delay to sleep before the next attempt, given `elapsed` total
+    /// wall time since the first attempt — or `None` when the deadline
+    /// is exhausted and the caller should give up.
+    pub fn next_delay(&mut self, elapsed: Duration) -> Option<Duration> {
+        if elapsed >= self.deadline {
+            return None;
+        }
+        let nominal = self.next;
+        self.next = (self.next * 2).min(self.max);
+        // xorshift64* — tiny, seedable, good enough to decorrelate dials.
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let unit = (self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64
+            / (1u64 << 53) as f64;
+        let jittered = nominal.mul_f64(0.5 + 0.5 * unit);
+        Some(jittered.min(self.deadline - elapsed))
+    }
+}
+
 /// Dial with retries: a worker process racing the master's `bind` retries
 /// **transient** dial failures (`ConnectionRefused`, a not-yet-created
-/// Unix socket path, a reset/aborted accept backlog) until `deadline`
-/// wall time has elapsed. Permanent errors — a malformed endpoint, an
-/// unsupported scheme — fail immediately; retrying them would only burn
-/// the deadline before reporting the same error.
+/// Unix socket path, a reset/aborted accept backlog) on a jittered
+/// exponential [`Backoff`] until `deadline` wall time has elapsed.
+/// Permanent errors — a malformed endpoint, an unsupported scheme — fail
+/// immediately; retrying them would only burn the deadline before
+/// reporting the same error.
 pub fn connect_with_retry(endpoint: &str, deadline: Duration) -> io::Result<Box<dyn FrameStream>> {
+    connect_with_retry_faulty(endpoint, deadline, None)
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection (MWP_FAULT)
+// ---------------------------------------------------------------------------
+
+/// What a faulty transport does once its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Abort the process — no cleanup, no goodbye frame, the socket is
+    /// torn down by the OS. The deterministic stand-in for `kill -9`.
+    Kill,
+    /// Silently discard every subsequent outbound frame: the peer sees a
+    /// healthy socket that has gone mute (detected only by deadline).
+    Drop,
+    /// Sleep this long before each subsequent outbound frame: a wedged
+    /// worker (detected by deadline when the delay exceeds it).
+    Delay(Duration),
+    /// Write a torn frame — correct length prefix, half the bytes — then
+    /// fail every later write: the peer sees stream corruption.
+    Truncate,
+}
+
+/// A deterministic transport fault: after `after` outbound data frames
+/// (heartbeats are not counted — their timing is wall-clock-driven and
+/// would make the trigger nondeterministic), the stream performs its
+/// [`FaultAction`]. Parsed from `MWP_FAULT` by [`parse_fault_spec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// The misbehavior.
+    pub action: FaultAction,
+    /// How many outbound data frames pass unharmed first.
+    pub after: u64,
+}
+
+/// Parse an `MWP_FAULT` value: empty means "no fault" (`None`);
+/// otherwise `kill:<n>`, `drop:<n>`, `delay:<n>:<ms>`, or
+/// `truncate:<n>`, where `<n>` is the number of outbound data frames
+/// that pass before the fault fires. Strict: anything else is an error
+/// naming the valid forms.
+pub fn parse_fault_spec(value: &str) -> Result<Option<FaultSpec>, String> {
+    let v = value.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    let bad = || {
+        format!(
+            "unknown fault '{value}' (valid: kill:<n>, drop:<n>, delay:<n>:<ms>, truncate:<n>)"
+        )
+    };
+    let mut parts = v.split(':');
+    let action = parts.next().unwrap_or("");
+    let after: u64 = parts.next().and_then(|n| n.parse().ok()).ok_or_else(bad)?;
+    let spec = match (action, parts.next()) {
+        ("kill", None) => FaultSpec { action: FaultAction::Kill, after },
+        ("drop", None) => FaultSpec { action: FaultAction::Drop, after },
+        ("truncate", None) => FaultSpec { action: FaultAction::Truncate, after },
+        ("delay", Some(ms)) => {
+            let ms: u64 = ms.parse().map_err(|_| bad())?;
+            FaultSpec { action: FaultAction::Delay(Duration::from_millis(ms)), after }
+        }
+        _ => return Err(bad()),
+    };
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    Ok(Some(spec))
+}
+
+/// The `MWP_FAULT` environment spec, strictly parsed (a typo panics —
+/// a chaos leg that silently ran without its fault would be a green CI
+/// lying about coverage).
+pub fn fault_spec_from_env() -> Option<FaultSpec> {
+    match std::env::var("MWP_FAULT") {
+        Ok(v) => parse_fault_spec(&v).unwrap_or_else(|e| panic!("MWP_FAULT: {e}")),
+        Err(_) => None,
+    }
+}
+
+/// Shared trigger state of one faulty connection: counts outbound data
+/// frames across the unsplit stream and its split write half.
+struct FaultState {
+    spec: FaultSpec,
+    sent: AtomicU64,
+    poisoned: std::sync::atomic::AtomicBool,
+}
+
+impl FaultState {
+    fn new(spec: FaultSpec) -> Self {
+        FaultState { spec, sent: AtomicU64::new(0), poisoned: std::sync::atomic::AtomicBool::new(false) }
+    }
+
+    /// Run one outbound frame through the fault: `Ok(true)` forward it,
+    /// `Ok(false)` swallow it, `Err` fail the write. May sleep (delay),
+    /// abort the process (kill), or poison the writer (truncate).
+    fn on_send(&self, frame: &Frame, w: &mut dyn Write) -> io::Result<bool> {
+        use std::sync::atomic::Ordering::Relaxed;
+        if self.poisoned.load(Relaxed) {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "faulty stream is torn"));
+        }
+        if frame.tag.kind == FrameKind::Heartbeat {
+            // Heartbeats neither count nor trip faults — except on a mute
+            // or torn stream, which swallows them like everything else.
+            return Ok(!matches!(
+                self.spec.action,
+                FaultAction::Drop if self.sent.load(Relaxed) >= self.spec.after
+            ));
+        }
+        let n = self.sent.fetch_add(1, Relaxed);
+        if n < self.spec.after {
+            return Ok(true);
+        }
+        match self.spec.action {
+            FaultAction::Kill => std::process::abort(),
+            FaultAction::Drop => Ok(false),
+            FaultAction::Delay(d) => {
+                thread::sleep(d);
+                Ok(true)
+            }
+            FaultAction::Truncate => {
+                // A torn frame: honest length prefix, half the bytes.
+                let wire_len = frame.wire_len();
+                w.write_all(&(wire_len as u32).to_le_bytes())?;
+                let image = frame.encode();
+                w.write_all(&image[..image.len() / 2])?;
+                w.flush()?;
+                self.poisoned.store(true, Relaxed);
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "fault: frame torn mid-write"))
+            }
+        }
+    }
+}
+
+/// Minimal surface the fault wrapper needs from a raw socket, so one
+/// generic implementation covers TCP and UDS.
+trait RawStream: Read + Write + Send + Sized + 'static {
+    fn try_clone_raw(&self) -> io::Result<Self>;
+    fn set_read_timeout_raw(&self, t: Option<Duration>) -> io::Result<()>;
+    fn peer_desc(&self) -> String;
+}
+
+impl RawStream for TcpStream {
+    fn try_clone_raw(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_read_timeout_raw(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(t)
+    }
+    fn peer_desc(&self) -> String {
+        match self.peer_addr() {
+            Ok(a) => format!("tcp://{a} (faulty)"),
+            Err(_) => "tcp://<unknown> (faulty)".into(),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl RawStream for UnixStream {
+    fn try_clone_raw(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_read_timeout_raw(&self, t: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(t)
+    }
+    fn peer_desc(&self) -> String {
+        "uds://<peer> (faulty)".into()
+    }
+}
+
+/// A [`FrameStream`] whose **outbound** frames run through a
+/// [`FaultSpec`] trigger (reads are untouched — the faults model a
+/// misbehaving *worker*, and the wrapper sits on the worker's side of
+/// the wire). Splitting keeps the trigger state shared, so frames sent
+/// before the split count toward the trigger.
+struct FaultyStream<S: RawStream> {
+    stream: S,
+    pool: BufferPool,
+    state: std::sync::Arc<FaultState>,
+}
+
+impl<S: RawStream> FaultyStream<S> {
+    fn new(stream: S, spec: FaultSpec) -> Self {
+        FaultyStream { stream, pool: BufferPool::new(), state: std::sync::Arc::new(FaultState::new(spec)) }
+    }
+}
+
+impl<S: RawStream> FrameStream for FaultyStream<S> {
+    fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        if self.state.on_send(frame, &mut self.stream)? {
+            write_frame_to(&mut self.stream, frame)?;
+        }
+        Ok(())
+    }
+
+    fn recv_frame_capped(&mut self, max_wire_len: usize) -> io::Result<Option<Frame>> {
+        read_frame_from(&mut self.stream, &self.pool, max_wire_len)
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout_raw(timeout)
+    }
+
+    fn split(self: Box<Self>) -> io::Result<(Box<dyn FrameRead>, Box<dyn FrameWrite>)> {
+        let reader = self.stream.try_clone_raw()?;
+        Ok((
+            Box::new(FramedReader::new(reader)),
+            Box::new(FaultyWriter { inner: self.stream, state: self.state }),
+        ))
+    }
+
+    fn peer(&self) -> String {
+        self.stream.peer_desc()
+    }
+}
+
+/// The write half of a split [`FaultyStream`].
+struct FaultyWriter<S: RawStream> {
+    inner: S,
+    state: std::sync::Arc<FaultState>,
+}
+
+impl<S: RawStream> FrameWrite for FaultyWriter<S> {
+    fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        if self.state.on_send(frame, &mut self.inner)? {
+            write_frame_to(&mut self.inner, frame)?;
+        }
+        Ok(())
+    }
+}
+
+/// Dial `endpoint` and wrap the connection in `fault` when one is given
+/// (otherwise identical to [`connect`]). The worker binary's connect
+/// path: `MWP_FAULT` wraps the worker's side of the wire, so every
+/// master-side recovery path can be exercised deterministically.
+pub fn connect_faulty(endpoint: &str, fault: Option<FaultSpec>) -> io::Result<Box<dyn FrameStream>> {
+    let Some(fault) = fault else { return connect(endpoint) };
+    if let Some(addr) = endpoint.strip_prefix("tcp://") {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        return Ok(Box::new(FaultyStream::new(stream, fault)));
+    }
+    #[cfg(unix)]
+    if let Some(path) = endpoint.strip_prefix("uds:") {
+        return Ok(Box::new(FaultyStream::new(UnixStream::connect(path)?, fault)));
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("unrecognized endpoint '{endpoint}' (expected tcp://host:port or uds:/path)"),
+    ))
+}
+
+/// [`connect_with_retry`]'s fault-injecting sibling (same backoff, same
+/// transient-error policy).
+pub fn connect_with_retry_faulty(
+    endpoint: &str,
+    deadline: Duration,
+    fault: Option<FaultSpec>,
+) -> io::Result<Box<dyn FrameStream>> {
     let start = std::time::Instant::now();
+    let mut backoff = Backoff::for_dial(deadline);
     let transient = |kind: io::ErrorKind| {
         matches!(
             kind,
@@ -538,11 +910,12 @@ pub fn connect_with_retry(endpoint: &str, deadline: Duration) -> io::Result<Box<
         )
     };
     loop {
-        match connect(endpoint) {
+        match connect_faulty(endpoint, fault) {
             Ok(s) => return Ok(s),
-            Err(e) if transient(e.kind()) && start.elapsed() < deadline => {
-                thread::sleep(Duration::from_millis(20));
-            }
+            Err(e) if transient(e.kind()) => match backoff.next_delay(start.elapsed()) {
+                Some(delay) => thread::sleep(delay),
+                None => return Err(e),
+            },
             Err(e) => return Err(e),
         }
     }
@@ -608,10 +981,12 @@ pub struct Welcome {
 /// connection that goes silent mid-handshake is dropped after this —
 /// never allowed to park an accept loop forever.
 pub fn handshake_timeout() -> Duration {
-    let ms = std::env::var("MWP_HANDSHAKE_TIMEOUT_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10_000u64);
+    let ms = match std::env::var("MWP_HANDSHAKE_TIMEOUT_MS") {
+        Ok(v) => parse_millis(&v)
+            .unwrap_or_else(|e| panic!("MWP_HANDSHAKE_TIMEOUT_MS: {e}"))
+            .unwrap_or(10_000),
+        Err(_) => 10_000,
+    };
     Duration::from_millis(ms)
 }
 
@@ -729,7 +1104,12 @@ pub fn enroll(
     stream.send_frame(&hello_frame(&Hello { claimed: claim, fingerprint: fingerprint.to_vec() }))?;
     let welcome =
         parse_welcome(&expect_frame(stream.recv_frame_capped(MAX_HANDSHAKE_WIRE_LEN)?, "welcome")?)?;
-    stream.set_read_timeout(None)?;
+    // Enrolled: swap the handshake deadline for the liveness deadline.
+    // The master's idle-link heartbeats keep arriving even while this
+    // worker is parked between runs, so only a dead or wedged master
+    // trips it; with liveness off the link blocks indefinitely, as the
+    // session protocol originally required.
+    stream.set_read_timeout(liveness().map(|(_, deadline)| deadline))?;
     if let Some(claimed) = claim {
         if welcome.worker != claimed {
             return Err(io::Error::new(
@@ -783,20 +1163,39 @@ impl RemoteLink {
     ) -> RemoteLink {
         let (master_side, worker_side) = Link::new(c, pacing).split();
         let (to_worker_rx, to_master_tx) = worker_side.into_channels();
+        let heartbeat = liveness().map(|(interval, _)| interval);
         let mut writer = writer;
         let out_pump = thread::Builder::new()
             .name(format!("mwp-pump-out-{}", id.index()))
             .spawn(move || {
                 loop {
-                    let frame = match to_worker_rx.recv() {
-                        Ok(f) => f,
-                        Err(_) => {
-                            // Master endpoint dropped without a shutdown
-                            // frame: synthesize one so the remote worker
-                            // still sees an orderly close.
-                            let _ = writer.send_frame(&Frame::shutdown());
-                            break;
-                        }
+                    let frame = match heartbeat {
+                        // Idle-link-only heartbeats: a probe goes out only
+                        // when a full heartbeat period passed with nothing
+                        // to forward, so a busy link pays zero overhead.
+                        Some(interval) => match to_worker_rx.recv_timeout(interval) {
+                            Ok(f) => f,
+                            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                if writer.send_frame(&Frame::heartbeat()).is_err() {
+                                    break; // worker gone; in-pump reports it
+                                }
+                                continue;
+                            }
+                            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                                // Master endpoint dropped without a shutdown
+                                // frame: synthesize one so the remote worker
+                                // still sees an orderly close.
+                                let _ = writer.send_frame(&Frame::shutdown());
+                                break;
+                            }
+                        },
+                        None => match to_worker_rx.recv() {
+                            Ok(f) => f,
+                            Err(_) => {
+                                let _ = writer.send_frame(&Frame::shutdown());
+                                break;
+                            }
+                        },
                     };
                     let is_shutdown = frame.tag.kind == FrameKind::Shutdown;
                     if writer.send_frame(&frame).is_err() || is_shutdown {
@@ -806,15 +1205,30 @@ impl RemoteLink {
             })
             .expect("spawn transport out-pump");
         let mut reader = reader;
+        let death_flag = master_side.death_flag();
         let in_pump = thread::Builder::new()
             .name(format!("mwp-pump-in-{}", id.index()))
             .spawn(move || {
-                // Until the peer closes (Ok(None)) or the stream dies.
-                while let Ok(Some(frame)) = reader.recv_frame() {
-                    if to_master_tx.send(frame).is_err() {
-                        break; // master endpoint gone
+                // The socket carries the liveness read deadline (set before
+                // the split), so a worker silent past `MWP_DEADLINE_MS` —
+                // no data, no heartbeats — surfaces here as a timed-out
+                // read. Any exit marks the link dead and drops the channel
+                // sender, which a master blocked in `recv` observes as the
+                // same "worker died" error the in-process transport
+                // produces. Worker heartbeats are swallowed here; they
+                // exist only to feed the socket's deadline.
+                loop {
+                    match reader.recv_frame() {
+                        Ok(Some(f)) if f.tag.kind == FrameKind::Heartbeat => continue,
+                        Ok(Some(f)) => {
+                            if to_master_tx.send(f).is_err() {
+                                break; // master endpoint gone
+                            }
+                        }
+                        Ok(None) | Err(_) => break,
                     }
                 }
+                death_flag.store(true, std::sync::atomic::Ordering::Release);
             })
             .expect("spawn transport in-pump");
         RemoteLink { side: master_side, pumps: [out_pump, in_pump] }
@@ -1084,5 +1498,171 @@ mod tests {
             p.join().unwrap();
         }
         h.join().unwrap();
+    }
+
+    #[test]
+    fn millis_parser_is_strict() {
+        assert_eq!(parse_millis(""), Ok(None));
+        assert_eq!(parse_millis("  "), Ok(None));
+        assert_eq!(parse_millis("0"), Ok(Some(0)));
+        assert_eq!(parse_millis("2500"), Ok(Some(2500)));
+        assert_eq!(parse_millis(" 75 "), Ok(Some(75)));
+        for bad in ["1.5", "-1", "1s", "fast", "1_000"] {
+            assert!(parse_millis(bad).is_err(), "'{bad}' must be rejected, not defaulted");
+        }
+    }
+
+    #[test]
+    fn fault_spec_parser_is_strict() {
+        assert_eq!(parse_fault_spec(""), Ok(None));
+        assert_eq!(
+            parse_fault_spec("kill:3"),
+            Ok(Some(FaultSpec { action: FaultAction::Kill, after: 3 }))
+        );
+        assert_eq!(
+            parse_fault_spec("drop:0"),
+            Ok(Some(FaultSpec { action: FaultAction::Drop, after: 0 }))
+        );
+        assert_eq!(
+            parse_fault_spec("delay:2:150"),
+            Ok(Some(FaultSpec {
+                action: FaultAction::Delay(Duration::from_millis(150)),
+                after: 2
+            }))
+        );
+        assert_eq!(
+            parse_fault_spec("truncate:7"),
+            Ok(Some(FaultSpec { action: FaultAction::Truncate, after: 7 }))
+        );
+        for bad in
+            ["kill", "kill:", "kill:x", "drop:1:2", "delay:1", "delay:1:", "explode:1", "kill:3:"]
+        {
+            assert!(parse_fault_spec(bad).is_err(), "'{bad}' must be rejected: a chaos leg \
+                 silently running faultless would be green CI lying");
+        }
+    }
+
+    /// The backoff schedule over an injected clock: no sleeping, fully
+    /// deterministic for a fixed seed.
+    #[test]
+    fn backoff_doubles_within_jitter_bounds_and_honors_the_deadline() {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(80);
+        let deadline = Duration::from_secs(100);
+        let mut backoff = Backoff::new(base, max, deadline, 42);
+        let mut nominal = base;
+        // Attempt k's delay is jittered to 50–100% of the nominal,
+        // which doubles up to `max` and then stays there.
+        for attempt in 0..8 {
+            let d = backoff.next_delay(Duration::ZERO).expect("deadline far away");
+            assert!(
+                d >= nominal.mul_f64(0.5) && d <= nominal,
+                "attempt {attempt}: delay {d:?} outside [50%, 100%] of nominal {nominal:?}"
+            );
+            nominal = (nominal * 2).min(max);
+        }
+        // Same seed ⇒ same schedule, different seed ⇒ (almost surely)
+        // a different one: the jitter decorrelates a worker herd.
+        let delays = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(base, max, deadline, seed);
+            (0..6).map(|_| b.next_delay(Duration::ZERO).unwrap()).collect()
+        };
+        assert_eq!(delays(7), delays(7), "fixed seed ⇒ deterministic schedule");
+        assert_ne!(delays(7), delays(8), "different seeds ⇒ decorrelated schedules");
+    }
+
+    #[test]
+    fn backoff_clips_to_the_deadline_then_expires() {
+        let mut backoff = Backoff::new(
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+            Duration::from_millis(250),
+            1,
+        );
+        // 240 ms elapsed of a 250 ms budget: whatever the jitter says,
+        // the issued delay never overshoots the remaining 10 ms.
+        let d = backoff.next_delay(Duration::from_millis(240)).unwrap();
+        assert!(d <= Duration::from_millis(10), "delay {d:?} overshoots the deadline");
+        // At (or past) the deadline the schedule is exhausted.
+        assert_eq!(backoff.next_delay(Duration::from_millis(250)), None);
+        assert_eq!(backoff.next_delay(Duration::from_secs(1)), None);
+    }
+
+    /// Wire a faulty dialer to a plain accepted stream, without any
+    /// `MWP_FAULT` env staging (the spec is passed explicitly).
+    fn faulty_pair(spec: FaultSpec) -> (Box<dyn FrameStream>, Box<dyn FrameStream>) {
+        let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+        let endpoint = listener.endpoint();
+        let dialer = connect_faulty(&endpoint, Some(spec)).unwrap();
+        let accepted = listener.accept().unwrap();
+        (dialer, accepted)
+    }
+
+    #[test]
+    fn drop_fault_goes_mute_after_n_frames_but_heartbeats_never_count() {
+        let (mut faulty, mut peer) =
+            faulty_pair(FaultSpec { action: FaultAction::Drop, after: 2 });
+        // A heartbeat before the trigger must not advance the count —
+        // its timing is wall-clock-driven and would make the fault
+        // frame nondeterministic.
+        faulty.send_frame(&Frame::heartbeat()).unwrap();
+        faulty.send_frame(&frame(FrameKind::BlockA, 0, 0, &[1u8; 8])).unwrap();
+        faulty.send_frame(&frame(FrameKind::BlockA, 1, 0, &[2u8; 8])).unwrap();
+        // Third data frame: the drop fires — the send "succeeds" (a
+        // mute worker doesn't know it is mute) but nothing hits the wire.
+        faulty.send_frame(&frame(FrameKind::BlockA, 2, 0, &[3u8; 8])).unwrap();
+        assert_eq!(
+            peer.recv_frame_capped(MAX_WIRE_LEN).unwrap().unwrap().tag.kind,
+            FrameKind::Heartbeat
+        );
+        for i in 0..2 {
+            let f = peer.recv_frame_capped(MAX_WIRE_LEN).unwrap().unwrap();
+            assert_eq!(f.tag.i, i, "pre-trigger data frames pass unharmed");
+        }
+        // The peer sees a healthy socket that has simply gone silent:
+        // only a read deadline can surface this.
+        peer.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+        assert!(peer.recv_frame_capped(MAX_WIRE_LEN).is_err(), "silence, not a frame or EOF");
+    }
+
+    #[test]
+    fn delay_fault_stalls_every_frame_past_the_trigger() {
+        let stall = Duration::from_millis(120);
+        let (mut faulty, mut peer) =
+            faulty_pair(FaultSpec { action: FaultAction::Delay(stall), after: 1 });
+        let t0 = std::time::Instant::now();
+        faulty.send_frame(&frame(FrameKind::BlockB, 0, 0, &[0u8; 4])).unwrap();
+        assert!(t0.elapsed() < stall, "pre-trigger frame goes out promptly");
+        let t1 = std::time::Instant::now();
+        faulty.send_frame(&frame(FrameKind::BlockB, 1, 0, &[0u8; 4])).unwrap();
+        assert!(t1.elapsed() >= stall, "post-trigger frame is wedged for the delay");
+        // Both frames do arrive — a wedged worker is slow, not gone.
+        for i in 0..2 {
+            assert_eq!(peer.recv_frame_capped(MAX_WIRE_LEN).unwrap().unwrap().tag.i, i);
+        }
+    }
+
+    #[test]
+    fn truncate_fault_tears_a_frame_mid_write_and_poisons_the_stream() {
+        let (mut faulty, mut peer) =
+            faulty_pair(FaultSpec { action: FaultAction::Truncate, after: 1 });
+        faulty.send_frame(&frame(FrameKind::BlockC, 0, 0, &[9u8; 64])).unwrap();
+        // The trigger frame: an honest length prefix, half the bytes,
+        // then the write "fails" — and every later send is poisoned.
+        let torn = faulty.send_frame(&frame(FrameKind::BlockC, 1, 0, &[9u8; 64]));
+        assert!(torn.is_err(), "the torn write surfaces as an error on the faulty side");
+        assert!(
+            faulty.send_frame(&Frame::heartbeat()).is_err(),
+            "a torn stream stays broken — even heartbeats fail"
+        );
+        assert_eq!(peer.recv_frame_capped(MAX_WIRE_LEN).unwrap().unwrap().tag.i, 0);
+        // The peer is now mid-frame on a stream that will never finish
+        // it: dropping the faulty side turns that into corruption
+        // (unexpected EOF), never a clean end-of-stream.
+        drop(faulty);
+        assert!(
+            peer.recv_frame_capped(MAX_WIRE_LEN).is_err(),
+            "a torn frame must read as corruption, not clean EOF"
+        );
     }
 }

@@ -12,11 +12,20 @@
 //! ```text
 //! mwp-worker --connect tcp://192.168.0.10:4455
 //! mwp-worker --connect uds:/tmp/mwp-master.sock --wait-ms 10000
+//! mwp-worker --connect tcp://127.0.0.1:4455 --reconnect
 //! ```
 //!
 //! The process exits 0 after an orderly shutdown (shutdown frame or the
 //! master closing the connection), and non-zero on connect/enroll
-//! failures or an unknown service id.
+//! failures or an unknown service id. With `--reconnect` the worker
+//! re-dials the listener after each orderly session close — an elastic
+//! fleet member that enrolls into whatever session is accepting next —
+//! and exits 0 once the listener stays unreachable for the `--wait-ms`
+//! window (the master is gone for good).
+//!
+//! Setting `MWP_FAULT` (e.g. `kill:40`, `drop:25`, `delay:10:500`,
+//! `truncate:12`) wraps the socket in the deterministic fault-injection
+//! layer — how the chaos tests make *this* worker the one that dies.
 
 use mwp_msg::transport::{self, SERVICE_LU, SERVICE_MATRIX};
 use std::process::ExitCode;
@@ -25,16 +34,18 @@ use std::time::Duration;
 struct Args {
     endpoint: String,
     wait_ms: u64,
+    reconnect: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mwp-worker --connect <tcp://host:port | uds:/path> [--wait-ms <ms>]\n\
+        "usage: mwp-worker --connect <tcp://host:port | uds:/path> [--wait-ms <ms>] [--reconnect]\n\
          \n\
          Dials the master's listener, enrolls, and serves session runs\n\
          until the master shuts the session down. --wait-ms (default\n\
          5000) bounds how long to retry while the master is not yet\n\
-         listening."
+         listening. --reconnect re-dials after an orderly session close\n\
+         (exit 0 when the listener stays gone for the --wait-ms window)."
     );
     std::process::exit(2);
 }
@@ -42,6 +53,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut endpoint = None;
     let mut wait_ms = 5000u64;
+    let mut reconnect = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,14 +64,45 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--reconnect" => reconnect = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
     match endpoint {
-        Some(endpoint) => Args { endpoint, wait_ms },
+        Some(endpoint) => Args { endpoint, wait_ms, reconnect },
         None => usage(),
     }
+}
+
+/// Dial, enroll, and serve one full session. `Ok(())` is an orderly
+/// close; `Err` is a connect/enroll/service failure worth a non-zero
+/// exit (unless a `--reconnect` worker has already served a session and
+/// the master is simply gone).
+fn serve_one_session(args: &Args, fingerprint: &str) -> Result<(), String> {
+    let fault = transport::fault_spec_from_env();
+    let stream = transport::connect_with_retry_faulty(
+        &args.endpoint,
+        Duration::from_millis(args.wait_ms),
+        fault,
+    )
+    .map_err(|e| format!("cannot reach {}: {e}", args.endpoint))?;
+    let (ep, welcome) = transport::enroll(stream, None, fingerprint.as_bytes())
+        .map_err(|e| format!("enrollment at {} failed: {e}", args.endpoint))?;
+    eprintln!(
+        "mwp-worker: enrolled as worker {} (c = {}, w = {}, m = {}, service = {})",
+        welcome.worker.index(),
+        welcome.c,
+        welcome.w,
+        welcome.m,
+        welcome.service,
+    );
+    match welcome.service {
+        SERVICE_MATRIX => mwp_core::remote::serve(ep, welcome.m as usize),
+        SERVICE_LU => mwp_lu::runtime::serve_remote(ep),
+        other => return Err(format!("master asked for unknown service id {other}")),
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -72,37 +115,28 @@ fn main() -> ExitCode {
         env!("CARGO_PKG_VERSION"),
         mwp_blockmat::kernel::active().name()
     );
-    let stream =
-        match transport::connect_with_retry(&args.endpoint, Duration::from_millis(args.wait_ms)) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("mwp-worker: cannot reach {}: {e}", args.endpoint);
+    let mut sessions_served = 0u64;
+    loop {
+        match serve_one_session(&args, &fingerprint) {
+            Ok(()) => {
+                sessions_served += 1;
+                if !args.reconnect {
+                    eprintln!("mwp-worker: session closed, exiting");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("mwp-worker: session closed, re-dialing {}", args.endpoint);
+            }
+            Err(msg) => {
+                // A --reconnect worker that has already served at least
+                // one session treats an unreachable master as the end of
+                // its useful life, not an error.
+                if args.reconnect && sessions_served > 0 {
+                    eprintln!("mwp-worker: {msg}; served {sessions_served} session(s), exiting");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!("mwp-worker: {msg}");
                 return ExitCode::FAILURE;
             }
-        };
-    let (ep, welcome) = match transport::enroll(stream, None, fingerprint.as_bytes()) {
-        Ok(ok) => ok,
-        Err(e) => {
-            eprintln!("mwp-worker: enrollment at {} failed: {e}", args.endpoint);
-            return ExitCode::FAILURE;
-        }
-    };
-    eprintln!(
-        "mwp-worker: enrolled as worker {} (c = {}, w = {}, m = {}, service = {})",
-        welcome.worker.index(),
-        welcome.c,
-        welcome.w,
-        welcome.m,
-        welcome.service,
-    );
-    match welcome.service {
-        SERVICE_MATRIX => mwp_core::remote::serve(ep, welcome.m as usize),
-        SERVICE_LU => mwp_lu::runtime::serve_remote(ep),
-        other => {
-            eprintln!("mwp-worker: master asked for unknown service id {other}");
-            return ExitCode::FAILURE;
         }
     }
-    eprintln!("mwp-worker: session closed, exiting");
-    ExitCode::SUCCESS
 }

@@ -1,0 +1,234 @@
+//! Chaos end-to-end: real `mwp-worker` processes die — deterministically
+//! via `MWP_FAULT=kill:<n>` (a `std::process::abort` mid-protocol, the
+//! stand-in for `kill -9`) or by an actual SIGKILL from the test — while
+//! a master in this process is mid-run over loopback TCP. The master
+//! must detect each death, re-dispatch the lost work to survivors, and
+//! produce results **bit-identical** to an all-healthy in-process
+//! reference star: the staged-commit re-dispatch contract of
+//! `docs/ARCHITECTURE.md`, proven over a process boundary.
+//!
+//! Death here is detected by socket EOF (the kernel closes a killed
+//! process's sockets), so these tests need no liveness env; the
+//! deadline-driven detection of a *mute* worker lives in
+//! `chaos_liveness.rs`, which stages `MWP_HEARTBEAT_MS`/`MWP_DEADLINE_MS`
+//! process-wide and therefore runs as its own binary.
+
+use mwp_blockmat::fill::{random_diagonally_dominant, random_matrix};
+use mwp_blockmat::BlockMatrix;
+use mwp_core::selection::incremental::SelectionRule;
+use mwp_core::session::RuntimeSession;
+use mwp_lu::runtime::LuSession;
+use mwp_msg::transport::TransportListener;
+use mwp_msg::TransportMode;
+use mwp_platform::{Platform, WorkerParams};
+use std::process::{Child, Command, Stdio};
+
+/// Launch one worker process dialing `endpoint`, with `MWP_FAULT` set to
+/// `fault` if non-empty.
+fn spawn_worker(endpoint: &str, fault: &str) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mwp-worker"));
+    cmd.args(["--connect", endpoint, "--wait-ms", "10000"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if !fault.is_empty() {
+        cmd.env("MWP_FAULT", fault);
+    }
+    cmd.spawn().expect("spawn mwp-worker")
+}
+
+/// Every worker process must have exited successfully (orderly shutdown).
+fn reap(children: Vec<Child>) {
+    for mut child in children {
+        let status = child.wait().expect("wait for mwp-worker");
+        assert!(status.success(), "mwp-worker exited with {status}");
+    }
+}
+
+/// The faulty worker must have died by its own abort — anything else
+/// means the fault never fired and the test proved nothing.
+fn reap_aborted(mut child: Child) {
+    let status = child.wait().expect("wait for the aborted mwp-worker");
+    assert!(!status.success(), "the faulty worker exited cleanly: its fault never fired");
+}
+
+/// Round inputs shared by the HoLM-shaped chaos tests.
+fn holm_round(round: u64) -> (BlockMatrix, BlockMatrix, BlockMatrix) {
+    let q = 6;
+    let a = random_matrix(5, 7, q, 9100 + round);
+    let b = random_matrix(7, 9, q, 9200 + round);
+    let c0 = random_matrix(5, 9, q, 9300 + round);
+    (a, b, c0)
+}
+
+#[test]
+fn holm_recovers_bit_identically_when_a_worker_aborts_mid_run() {
+    // Three remote workers; one aborts on its second result frame —
+    // mid-chunk-collection, after the master has already buffered part
+    // of the chunk. The staged commit must discard the partial chunk
+    // and replay it on a survivor with no double-accumulation.
+    //
+    // Memory is deliberately small (µ = 20 blocks): the 5×9-block C
+    // must split into several chunks, so every enrolled worker —
+    // including the doomed one — actually gets work each round.
+    let platform = Platform::homogeneous(3, 4.0, 1.0, 20).unwrap();
+    let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+    let endpoint = listener.endpoint();
+    let healthy: Vec<Child> = (0..2).map(|_| spawn_worker(&endpoint, "")).collect();
+    let doomed = spawn_worker(&endpoint, "kill:2");
+    let remote = RuntimeSession::accept_remote(&platform, 0.0, &listener).unwrap();
+    let local = RuntimeSession::with_transport(&platform, 0.0, TransportMode::Channel);
+
+    // ORROML (every worker enrolled) so the doomed worker always gets
+    // work. Keep serving rounds until its abort has been observed; each
+    // round — before, during, and after the death — must match the
+    // healthy reference bit-for-bit.
+    for round in 0..5u64 {
+        let (a, b, c0) = holm_round(round);
+        let over_socket = remote.run_all_workers(&a, &b, c0.clone()).unwrap();
+        let over_channel = local.run_all_workers(&a, &b, c0).unwrap();
+        assert_eq!(
+            over_socket.c.max_abs_diff(&over_channel.c),
+            0.0,
+            "round {round}: recovered result must be bit-identical"
+        );
+        if remote.dead_workers() > 0 {
+            break;
+        }
+    }
+    assert_eq!(remote.dead_workers(), 1, "the kill:2 fault never fired");
+
+    local.shutdown();
+    remote.shutdown();
+    reap(healthy);
+    reap_aborted(doomed);
+}
+
+#[test]
+fn heterogeneous_runtime_recovers_when_a_worker_aborts_mid_run() {
+    // Same death, other scheduler: the heterogeneous two-phase runtime
+    // must surrender the dead worker's unfinished column group to the
+    // lost pool and replay it (split to fit, if need be) on survivors.
+    //
+    // Compute-heavy workers (w ≫ c) so the resource selection wants the
+    // whole fleet: a communication-bound platform would deterministically
+    // leave the doomed worker out of the selected set — and out of
+    // harm's way.
+    let platform = Platform::homogeneous(3, 1.0, 8.0, 20).unwrap();
+    let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+    let endpoint = listener.endpoint();
+    let healthy: Vec<Child> = (0..2).map(|_| spawn_worker(&endpoint, "")).collect();
+    let doomed = spawn_worker(&endpoint, "kill:2");
+    let remote = RuntimeSession::accept_remote(&platform, 0.0, &listener).unwrap();
+    let local = RuntimeSession::with_transport(&platform, 0.0, TransportMode::Channel);
+
+    for round in 0..5u64 {
+        let (a, b, c0) = holm_round(round);
+        let over_socket = remote.run_heterogeneous(&a, &b, c0.clone(), SelectionRule::Global).unwrap();
+        let over_channel = local.run_heterogeneous(&a, &b, c0, SelectionRule::Global).unwrap();
+        assert_eq!(
+            over_socket.c.max_abs_diff(&over_channel.c),
+            0.0,
+            "round {round}: recovered result must be bit-identical"
+        );
+        if remote.dead_workers() > 0 {
+            break;
+        }
+    }
+    assert_eq!(remote.dead_workers(), 1, "the kill:2 fault never fired");
+
+    local.shutdown();
+    remote.shutdown();
+    reap(healthy);
+    reap_aborted(doomed);
+}
+
+#[test]
+fn lu_recovers_bit_identically_when_a_worker_aborts_mid_run() {
+    // Two LU workers; one aborts on its second op response. Whichever
+    // slot it enrolled as, the master must retarget pivot/panel ops and
+    // re-dispatch lost trailing-update groups to the survivor.
+    let platform = Platform::homogeneous(2, 1.0, 1.0, 1000).unwrap();
+    let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+    let endpoint = listener.endpoint();
+    let healthy = spawn_worker(&endpoint, "");
+    let doomed = spawn_worker(&endpoint, "kill:2");
+    let remote = LuSession::accept_remote(&platform, 0.0, &listener).unwrap();
+    let local = LuSession::with_transport(&platform, 0.0, TransportMode::Channel);
+
+    for round in 0..5u64 {
+        let matrix = random_diagonally_dominant(6, 4, 8800 + round);
+        let over_socket = remote.run(&matrix, 2);
+        let over_channel = local.run(&matrix, 2);
+        assert_eq!(
+            over_socket.packed.max_abs_diff(&over_channel.packed),
+            0.0,
+            "round {round}: recovered factors must be bit-identical"
+        );
+        if remote.dead_workers() > 0 {
+            break;
+        }
+    }
+    assert_eq!(remote.dead_workers(), 1, "the kill:2 fault never fired");
+
+    local.shutdown();
+    remote.shutdown();
+    reap(vec![healthy]);
+    reap_aborted(doomed);
+}
+
+#[test]
+fn holm_survives_a_real_sigkill_then_readmits_a_replacement() {
+    // The full elastic-fleet story over real processes: a healthy round,
+    // an actual `kill -9` (SIGKILL, no abort handler, no goodbye), a
+    // recovered round on the halved fleet, then prune + admit of a
+    // fresh worker process and a round on the regrown fleet — every
+    // round bit-identical to the healthy reference. Small memory (µ =
+    // 20 blocks) keeps every worker, the victim included, on the
+    // critical path of each round.
+    let platform = Platform::homogeneous(3, 4.0, 1.0, 20).unwrap();
+    let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+    let endpoint = listener.endpoint();
+    let mut children: Vec<Child> = (0..3).map(|_| spawn_worker(&endpoint, "")).collect();
+    let mut remote = RuntimeSession::accept_remote(&platform, 0.0, &listener).unwrap();
+    let local = RuntimeSession::with_transport(&platform, 0.0, TransportMode::Channel);
+
+    let compare = |remote: &RuntimeSession, round: u64, label: &str| {
+        let (a, b, c0) = holm_round(round);
+        let over_socket = remote.run_all_workers(&a, &b, c0.clone()).unwrap();
+        let over_channel = local.run_all_workers(&a, &b, c0).unwrap();
+        assert_eq!(
+            over_socket.c.max_abs_diff(&over_channel.c),
+            0.0,
+            "{label}: result must be bit-identical"
+        );
+    };
+
+    compare(&remote, 0, "healthy fleet");
+
+    // SIGKILL one worker process outright.
+    let mut victim = children.pop().unwrap();
+    victim.kill().expect("SIGKILL the victim worker");
+    let status = victim.wait().expect("reap the victim");
+    assert!(!status.success());
+
+    // The next run discovers the death mid-run (EOF on the victim's
+    // socket) and recovers on the two survivors.
+    compare(&remote, 1, "after SIGKILL");
+    assert_eq!(remote.dead_workers(), 1);
+
+    // Elastic membership: compact the fleet, then regrow it with a
+    // fresh worker process enrolling on the still-open listener.
+    assert_eq!(remote.prune_dead(), 1);
+    assert_eq!(remote.workers(), 2);
+    children.push(spawn_worker(&endpoint, ""));
+    remote.admit(&listener, WorkerParams { c: 4.0, w: 1.0, m: 20 }).unwrap();
+    assert_eq!(remote.workers(), 3);
+    assert_eq!(remote.platform().len(), 3);
+
+    compare(&remote, 2, "regrown fleet");
+    assert_eq!(remote.dead_workers(), 0);
+
+    local.shutdown();
+    remote.shutdown();
+    reap(children);
+}

@@ -1,0 +1,85 @@
+//! Deadline-driven death detection: a worker whose socket stays open but
+//! goes **mute** (`MWP_FAULT=drop:<n>`) emits no EOF — only the liveness
+//! layer can catch it. This test stages `MWP_HEARTBEAT_MS` /
+//! `MWP_DEADLINE_MS` for the whole process (master side *and* the
+//! inherited environment of every spawned worker), so it lives in its
+//! own integration-test binary: the other e2e suites must keep running
+//! with liveness off.
+
+use mwp_blockmat::fill::random_matrix;
+use mwp_core::session::RuntimeSession;
+use mwp_msg::transport::TransportListener;
+use mwp_msg::TransportMode;
+use mwp_platform::Platform;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn spawn_worker(endpoint: &str, fault: &str) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_mwp-worker"));
+    cmd.args(["--connect", endpoint, "--wait-ms", "10000"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if !fault.is_empty() {
+        cmd.env("MWP_FAULT", fault);
+    }
+    cmd.spawn().expect("spawn mwp-worker")
+}
+
+#[test]
+fn a_mute_worker_is_cut_by_the_deadline_and_its_chunks_recovered() {
+    // Tight liveness so the test is fast: heartbeats every 100 ms, a
+    // worker is dead after 600 ms of silence. Spawned workers inherit
+    // these, which is what a real fleet does too.
+    std::env::set_var("MWP_HEARTBEAT_MS", "100");
+    std::env::set_var("MWP_DEADLINE_MS", "600");
+
+    let platform = Platform::homogeneous(3, 4.0, 1.0, 20).unwrap();
+    let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+    let endpoint = listener.endpoint();
+    let healthy: Vec<Child> = (0..2).map(|_| spawn_worker(&endpoint, "")).collect();
+    // After two data frames this worker swallows every outbound frame —
+    // results and its own heartbeats — while happily reading forever.
+    let mute = spawn_worker(&endpoint, "drop:2");
+    let remote = RuntimeSession::accept_remote(&platform, 0.0, &listener).unwrap();
+    let local = RuntimeSession::with_transport(&platform, 0.0, TransportMode::Channel);
+
+    let started = Instant::now();
+    for round in 0..5u64 {
+        let q = 6;
+        let a = random_matrix(5, 7, q, 7100 + round);
+        let b = random_matrix(7, 9, q, 7200 + round);
+        let c0 = random_matrix(5, 9, q, 7300 + round);
+        let over_socket = remote.run_all_workers(&a, &b, c0.clone()).unwrap();
+        let over_channel = local.run_all_workers(&a, &b, c0).unwrap();
+        assert_eq!(
+            over_socket.c.max_abs_diff(&over_channel.c),
+            0.0,
+            "round {round}: recovered result must be bit-identical"
+        );
+        if remote.dead_workers() > 0 {
+            break;
+        }
+    }
+    assert_eq!(remote.dead_workers(), 1, "the mute worker was never declared dead");
+    // The detection bound: with a 600 ms deadline, the whole exercise —
+    // including the round that stalls on the mute worker — must finish
+    // in a few seconds, not the 10 s default-deadline regime.
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "mute-worker detection took {:?}: the configured deadline did not bound it",
+        started.elapsed()
+    );
+
+    local.shutdown();
+    remote.shutdown();
+    // All three processes exit orderly: the healthy pair via shutdown
+    // frames, the mute one when the master drops its link and the
+    // closing socket ends its serve loop (its own sends being swallowed
+    // never made it error out).
+    for mut child in healthy {
+        let status = child.wait().expect("wait for mwp-worker");
+        assert!(status.success(), "healthy mwp-worker exited with {status}");
+    }
+    let mute_status = { mute }.wait().expect("wait for the mute mwp-worker");
+    assert!(mute_status.success(), "mute mwp-worker exited with {mute_status}");
+}

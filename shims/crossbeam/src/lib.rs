@@ -3,10 +3,13 @@
 //! Only the `channel` module is provided, backed by `std::sync::mpsc`
 //! (which since Rust 1.72 *is* the crossbeam channel implementation). The
 //! names match the subset the message layer uses: `unbounded`, `Sender`,
-//! `Receiver`, `RecvError`, `TryRecvError`, `SendError`.
+//! `Receiver`, `RecvError`, `RecvTimeoutError`, `TryRecvError`,
+//! `SendError`.
 
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
 
     /// An unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
