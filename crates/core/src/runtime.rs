@@ -90,6 +90,9 @@ pub enum RuntimeError {
     },
     /// Non-conforming matrix shapes.
     ShapeMismatch,
+    /// The session's fleet has no workers (every member was pruned);
+    /// admit a worker before running.
+    EmptyFleet,
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -102,6 +105,9 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "memory of {m} blocks cannot host µ = 1")
             }
             RuntimeError::ShapeMismatch => write!(f, "matrix shapes do not conform"),
+            RuntimeError::EmptyFleet => {
+                write!(f, "no workers enrolled: the fleet is empty")
+            }
         }
     }
 }
@@ -151,13 +157,38 @@ fn plan_holm(
     c: &BlockMatrix,
     select: bool,
 ) -> Result<(usize, usize), RuntimeError> {
-    let params = platform
-        .homogeneous_params()
-        .ok_or(RuntimeError::HeterogeneousPlatform)?;
+    platform.homogeneous_params().ok_or(RuntimeError::HeterogeneousPlatform)?;
+    validate_product_shapes(a, b, c)?;
+    select_enrollment(platform, a.rows(), b.cols(), select)
+}
+
+/// The shape gate every product run passes per call (cheap, and the
+/// matrices differ between calls even when the cached plan does not).
+pub(crate) fn validate_product_shapes(
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    c: &BlockMatrix,
+) -> Result<(), RuntimeError> {
     if a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols() || a.q() != b.q() {
         return Err(RuntimeError::ShapeMismatch);
     }
-    let (r, s) = (a.rows(), b.cols());
+    Ok(())
+}
+
+/// The pure resource-selection step of a HoLM/ORROML plan for an `r × s`
+/// result grid: Algorithm 1's worker count + chunk side µ under
+/// selection, or the whole fleet under ORROML. This is what a session
+/// re-runs when its fleet changes (see
+/// [`RuntimeSession::plan_holm_run`]).
+pub(crate) fn select_enrollment(
+    platform: &Platform,
+    r: usize,
+    s: usize,
+    select: bool,
+) -> Result<(usize, usize), RuntimeError> {
+    let params = platform
+        .homogeneous_params()
+        .ok_or(RuntimeError::HeterogeneousPlatform)?;
     let (enrolled, mu) = if select {
         let sel = select_homogeneous(&params, platform.len(), r, s);
         (sel.workers, sel.chunk_side)
@@ -180,8 +211,8 @@ pub(crate) fn holm_on(
     mut c: BlockMatrix,
     select: bool,
 ) -> Result<RunOutcome, RuntimeError> {
-    let platform = session.platform();
-    let (enrolled, mu) = plan_holm(platform, a, b, &c, select)?;
+    validate_product_shapes(a, b, &c)?;
+    let (enrolled, mu) = session.plan_holm_run(a.rows(), b.cols(), select)?;
     let q = a.q();
     let (r, t, s) = (a.rows(), a.cols(), b.cols());
 
@@ -318,11 +349,16 @@ fn plan_heterogeneous(
     b: &BlockMatrix,
     c: &BlockMatrix,
 ) -> Result<Vec<usize>, RuntimeError> {
+    validate_product_shapes(a, b, c)?;
+    heterogeneous_mu(platform)
+}
+
+/// Per-worker chunk sides `µ_i` for the heterogeneous scheme — pure in
+/// the platform description, so a session re-derives it whenever the
+/// fleet changes (see [`RuntimeSession::plan_heterogeneous_run`]).
+pub(crate) fn heterogeneous_mu(platform: &Platform) -> Result<Vec<usize>, RuntimeError> {
     use crate::layout::MemoryLayout;
 
-    if a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols() || a.q() != b.q() {
-        return Err(RuntimeError::ShapeMismatch);
-    }
     let mu: Vec<usize> = platform
         .workers()
         .iter()
@@ -347,8 +383,9 @@ pub(crate) fn heterogeneous_on(
 ) -> Result<RunOutcome, RuntimeError> {
     use crate::selection::incremental::run_selection_with_mu;
 
-    let platform = session.platform();
-    let mu = plan_heterogeneous(platform, a, b, &c)?;
+    let platform = session.platform().ok_or(RuntimeError::EmptyFleet)?;
+    validate_product_shapes(a, b, &c)?;
+    let mu = session.plan_heterogeneous_run()?;
     let q = a.q();
     let (r, t, s) = (a.rows(), a.cols(), b.cols());
 

@@ -34,18 +34,59 @@
 //! fingerprint for the whole process. Results are bit-identical either
 //! way — both paths execute the same master and worker code.
 
-use crate::runtime::{heterogeneous_on, holm_on, serve_run, RunOutcome, RuntimeError, WorkerState};
+use crate::runtime::{
+    heterogeneous_mu, heterogeneous_on, holm_on, select_enrollment, serve_run, RunOutcome,
+    RuntimeError, WorkerState,
+};
 use crate::selection::incremental::SelectionRule;
 use mwp_blockmat::BlockMatrix;
 use mwp_msg::session::{run_with_mode, RunEpoch, Session, SessionPool};
 use mwp_msg::transport::SERVICE_MATRIX;
 use mwp_msg::{MasterEndpoint, TransportListener, TransportMode, WorkerEndpoint};
-use mwp_platform::Platform;
+use mwp_platform::{Platform, WorkerId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The inputs a cached resource selection was computed for. A plan is
+/// reusable only while **both** the fleet generation (the session's
+/// membership epoch) and the run shape match; any `admit`/`prune_dead`
+/// bumps the epoch and thereby forces a fresh selection before the next
+/// run — the paper's algorithms re-run against the fleet that actually
+/// exists, never a stale enrollment.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct PlanKey {
+    epoch: u64,
+    r: usize,
+    s: usize,
+    select: bool,
+}
+
+/// A remembered HoLM/ORROML resource selection.
+struct HolmPlan {
+    enrolled: usize,
+    mu: usize,
+    /// The enrolled sub-platform, re-derived through [`Platform::select`]
+    /// — the placement the cost model chose, materialized.
+    placement: Platform,
+}
 
 /// A persistent worker pool serving the paper's matrix-product runtimes.
 pub struct RuntimeSession {
     inner: Session,
-    platform: Platform,
+    /// Per-slot link/memory parameters, compacted in lockstep with the
+    /// fleet (the source of truth `platform` is rebuilt from).
+    workers: Vec<mwp_platform::WorkerParams>,
+    /// The current fleet as a platform description — `None` when every
+    /// worker has been pruned (an empty fleet cannot be a [`Platform`];
+    /// runs return [`RuntimeError::EmptyFleet`] until an `admit`).
+    platform: Option<Platform>,
+    /// Last HoLM/ORROML resource selection, keyed by fleet epoch + shape.
+    holm_plan: Mutex<Option<(PlanKey, HolmPlan)>>,
+    /// Last heterogeneous per-worker chunk sides, keyed by fleet epoch.
+    het_plan: Mutex<Option<(u64, Vec<usize>)>>,
+    /// How many fresh resource selections this session has computed —
+    /// observably counts automatic re-planning after membership changes.
+    replans: AtomicU64,
 }
 
 impl RuntimeSession {
@@ -68,7 +109,19 @@ impl RuntimeSession {
             let mut state = WorkerState::new();
             move |q: u32, ep: &WorkerEndpoint| serve_run(ep, q as usize, memory_cap, &mut state)
         });
-        RuntimeSession { inner, platform: platform.clone() }
+        Self::over(inner, platform)
+    }
+
+    /// Wrap a spawned/accepted fleet with fresh (empty) plan state.
+    fn over(inner: Session, platform: &Platform) -> Self {
+        RuntimeSession {
+            inner,
+            workers: platform.workers().to_vec(),
+            platform: Some(platform.clone()),
+            holm_plan: Mutex::new(None),
+            het_plan: Mutex::new(None),
+            replans: AtomicU64::new(0),
+        }
     }
 
     /// A session whose workers are **remote processes** (`mwp-worker`
@@ -84,7 +137,7 @@ impl RuntimeSession {
         listener: &TransportListener,
     ) -> std::io::Result<Self> {
         let inner = Session::accept_remote(platform, time_scale, listener, SERVICE_MATRIX)?;
-        Ok(RuntimeSession { inner, platform: platform.clone() })
+        Ok(Self::over(inner, platform))
     }
 
     /// Fingerprint bytes each worker presented at enrollment (empty per
@@ -94,9 +147,74 @@ impl RuntimeSession {
         self.inner.worker_fingerprints()
     }
 
-    /// The platform this session's links and memory caps were built for.
-    pub fn platform(&self) -> &Platform {
-        &self.platform
+    /// The current fleet as a platform description — `None` after every
+    /// worker was pruned (runs then return [`RuntimeError::EmptyFleet`]
+    /// until an [`RuntimeSession::admit`] repopulates the fleet).
+    pub fn platform(&self) -> Option<&Platform> {
+        self.platform.as_ref()
+    }
+
+    /// The fleet's membership epoch (see [`Session::epoch`]): bumped on
+    /// every `admit` / non-empty `prune_dead`, and the key that
+    /// invalidates cached resource selections.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    /// How many fresh resource selections this session has computed. A
+    /// membership change followed by a run must raise this — the run
+    /// planned against the new fleet, not a stale enrollment.
+    pub fn replans(&self) -> u64 {
+        self.replans.load(Ordering::Relaxed)
+    }
+
+    /// The enrolled sub-platform the last HoLM/ORROML selection chose
+    /// (via [`Platform::select`]), if any run has planned yet.
+    pub fn placement(&self) -> Option<Platform> {
+        self.holm_plan.lock().unwrap().as_ref().map(|(_, plan)| plan.placement.clone())
+    }
+
+    /// Resource selection for a HoLM/ORROML run of shape `r × s`, cached
+    /// per (fleet epoch, shape): re-planned automatically after any
+    /// membership change, reused otherwise. Returns `(enrolled, µ)`.
+    pub(crate) fn plan_holm_run(
+        &self,
+        r: usize,
+        s: usize,
+        select: bool,
+    ) -> Result<(usize, usize), RuntimeError> {
+        let platform = self.platform.as_ref().ok_or(RuntimeError::EmptyFleet)?;
+        let key = PlanKey { epoch: self.inner.epoch(), r, s, select };
+        let mut cache = self.holm_plan.lock().unwrap();
+        if let Some((k, plan)) = cache.as_ref() {
+            if *k == key {
+                return Ok((plan.enrolled, plan.mu));
+            }
+        }
+        let (enrolled, mu) = select_enrollment(platform, r, s, select)?;
+        let placement = platform
+            .select(&(0..enrolled).map(WorkerId).collect::<Vec<_>>())
+            .expect("resource selection enrolls at least one worker");
+        self.replans.fetch_add(1, Ordering::Relaxed);
+        *cache = Some((key, HolmPlan { enrolled, mu, placement }));
+        Ok((enrolled, mu))
+    }
+
+    /// Per-worker chunk sides for a heterogeneous run, cached per fleet
+    /// epoch (they depend only on the workers' memory capacities).
+    pub(crate) fn plan_heterogeneous_run(&self) -> Result<Vec<usize>, RuntimeError> {
+        let platform = self.platform.as_ref().ok_or(RuntimeError::EmptyFleet)?;
+        let epoch = self.inner.epoch();
+        let mut cache = self.het_plan.lock().unwrap();
+        if let Some((e, mu)) = cache.as_ref() {
+            if *e == epoch {
+                return Ok(mu.clone());
+            }
+        }
+        let mu = heterogeneous_mu(platform)?;
+        self.replans.fetch_add(1, Ordering::Relaxed);
+        *cache = Some((epoch, mu.clone()));
+        Ok(mu)
     }
 
     /// Number of pooled workers.
@@ -139,35 +257,37 @@ impl RuntimeSession {
 
     /// Accept and enroll one more remote worker from `listener` between
     /// runs, growing both the fleet and this session's platform by one
-    /// slot (see [`Session::admit`]): the next run's resource selection
-    /// sees the newcomer automatically.
+    /// slot (see [`Session::admit`] — the membership epoch advances, so
+    /// the next run's resource selection re-plans over the newcomer
+    /// automatically). Admitting into an emptied fleet revives it.
     pub fn admit(
         &mut self,
         listener: &TransportListener,
         params: mwp_platform::WorkerParams,
     ) -> std::io::Result<mwp_platform::WorkerId> {
         let id = self.inner.admit(listener, params, SERVICE_MATRIX)?;
-        let mut workers = self.platform.workers().to_vec();
-        workers.push(params);
-        self.platform = Platform::new(workers).expect("platform with one more worker");
+        self.workers.push(params);
+        self.platform =
+            Some(Platform::new(self.workers.clone()).expect("fleet is non-empty after admit"));
         Ok(id)
     }
 
     /// Drop every worker declared dead, compacting the fleet and the
-    /// platform in lockstep (see [`Session::prune_dead`]). Returns how
-    /// many were removed.
+    /// platform in lockstep (see [`Session::prune_dead`] — a non-empty
+    /// prune advances the membership epoch, forcing a re-plan before the
+    /// next run). Returns how many were removed. Pruning the **whole**
+    /// fleet leaves the session alive but empty: runs return
+    /// [`RuntimeError::EmptyFleet`] until an `admit` repopulates it.
     pub fn prune_dead(&mut self) -> usize {
         let removed = self.inner.prune_dead();
         if !removed.is_empty() {
-            let workers: Vec<mwp_platform::WorkerParams> = self
-                .platform
-                .workers()
-                .iter()
+            self.workers = std::mem::take(&mut self.workers)
+                .into_iter()
                 .enumerate()
                 .filter(|(i, _)| !removed.contains(i))
-                .map(|(_, w)| *w)
+                .map(|(_, w)| w)
                 .collect();
-            self.platform = Platform::new(workers).expect("surviving platform is non-empty");
+            self.platform = Platform::new(self.workers.clone()).ok();
         }
         removed.len()
     }

@@ -69,7 +69,18 @@ pub struct LuRunOutcome {
 /// worker's payload buffer pool warm across runs.
 pub struct LuSession {
     inner: Session,
-    platform: Platform,
+    /// Per-slot parameters, compacted in lockstep with the fleet.
+    workers: Vec<mwp_platform::WorkerParams>,
+    /// The current fleet — `None` when every worker has been pruned.
+    platform: Option<Platform>,
+    /// Last plan: (membership epoch, enrolled workers). LU enrolls the
+    /// whole fleet, so the plan is its size — but re-deriving it per
+    /// epoch makes re-planning on fleet change observable ([`LuSession::replans`])
+    /// and keeps the LU runtime on the same control-plane contract as
+    /// the matrix-product runtimes.
+    plan: std::sync::Mutex<Option<(u64, usize)>>,
+    /// Fresh plans computed (see [`LuSession::replans`]).
+    replans: std::sync::atomic::AtomicU64,
 }
 
 impl LuSession {
@@ -91,7 +102,18 @@ impl LuSession {
             let mut horiz_pack = PackedB::new();
             move |_q: u32, ep: &WorkerEndpoint| serve_lu_run(ep, &mut horiz_pack)
         });
-        LuSession { inner, platform: platform.clone() }
+        Self::over(inner, platform)
+    }
+
+    /// Wrap a spawned/accepted fleet with fresh (empty) plan state.
+    fn over(inner: Session, platform: &Platform) -> Self {
+        LuSession {
+            inner,
+            workers: platform.workers().to_vec(),
+            platform: Some(platform.clone()),
+            plan: std::sync::Mutex::new(None),
+            replans: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// A session whose workers are **remote processes**: accepts one
@@ -104,12 +126,43 @@ impl LuSession {
         listener: &TransportListener,
     ) -> std::io::Result<Self> {
         let inner = Session::accept_remote(platform, time_scale, listener, SERVICE_LU)?;
-        Ok(LuSession { inner, platform: platform.clone() })
+        Ok(Self::over(inner, platform))
     }
 
-    /// The platform this session was built for.
-    pub fn platform(&self) -> &Platform {
-        &self.platform
+    /// The current fleet as a platform description — `None` after every
+    /// worker was pruned ([`LuSession::run`] panics on an empty fleet;
+    /// admit a worker first).
+    pub fn platform(&self) -> Option<&Platform> {
+        self.platform.as_ref()
+    }
+
+    /// The fleet's membership epoch (see [`Session::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    /// How many fresh enrollment plans this session has computed: one
+    /// for the first run, plus one per membership change that a later
+    /// run observed.
+    pub fn replans(&self) -> u64 {
+        self.replans.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The run's enrollment, re-planned whenever the fleet generation
+    /// changed since the last run.
+    fn plan_run(&self) -> usize {
+        let epoch = self.inner.epoch();
+        let mut plan = self.plan.lock().unwrap();
+        if let Some((e, enrolled)) = *plan {
+            if e == epoch {
+                return enrolled;
+            }
+        }
+        let enrolled = self.inner.workers();
+        assert!(enrolled > 0, "no workers enrolled: the fleet is empty");
+        self.replans.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        *plan = Some((epoch, enrolled));
+        enrolled
     }
 
     /// Number of pooled workers.
@@ -131,27 +184,28 @@ impl LuSession {
         params: mwp_platform::WorkerParams,
     ) -> std::io::Result<mwp_platform::WorkerId> {
         let id = self.inner.admit(listener, params, SERVICE_LU)?;
-        let mut workers = self.platform.workers().to_vec();
-        workers.push(params);
-        self.platform = Platform::new(workers).expect("platform with one more worker");
+        self.workers.push(params);
+        self.platform =
+            Some(Platform::new(self.workers.clone()).expect("fleet is non-empty after admit"));
         Ok(id)
     }
 
     /// Drop every worker declared dead, compacting the fleet and the
-    /// platform in lockstep (see [`Session::prune_dead`]). Returns how
-    /// many were removed.
+    /// platform in lockstep (see [`Session::prune_dead`] — a non-empty
+    /// prune advances the membership epoch, so the next run re-plans its
+    /// enrollment). Returns how many were removed. Pruning the whole
+    /// fleet leaves the session empty; [`LuSession::run`] panics until
+    /// an [`LuSession::admit`] repopulates it.
     pub fn prune_dead(&mut self) -> usize {
         let removed = self.inner.prune_dead();
         if !removed.is_empty() {
-            let workers: Vec<mwp_platform::WorkerParams> = self
-                .platform
-                .workers()
-                .iter()
+            self.workers = std::mem::take(&mut self.workers)
+                .into_iter()
                 .enumerate()
                 .filter(|(i, _)| !removed.contains(i))
-                .map(|(_, w)| *w)
+                .map(|(_, w)| w)
                 .collect();
-            self.platform = Platform::new(workers).expect("surviving platform is non-empty");
+            self.platform = Platform::new(self.workers.clone()).ok();
         }
         removed.len()
     }
@@ -217,7 +271,7 @@ fn validate_lu(matrix: &BlockMatrix, mu_blocks: usize) -> (usize, usize) {
 fn lu_on(session: &LuSession, matrix: &BlockMatrix, mu_blocks: usize) -> LuRunOutcome {
     let (n, nb) = validate_lu(matrix, mu_blocks);
 
-    let enrolled = session.workers();
+    let enrolled = session.plan_run();
     let epoch = session.inner.begin_run(enrolled, matrix.q() as u32);
     let master = session.inner.master();
 

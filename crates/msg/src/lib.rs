@@ -29,11 +29,16 @@
 //!   length-prefixed frames over TCP or Unix-domain sockets, so master
 //!   and workers can run as separate processes or hosts — the one-port
 //!   arbiter, pacing, and statistics stay on the master side, and worker
-//!   programs are transport-blind.
+//!   programs are transport-blind. Enrollment is authenticated: an
+//!   HMAC challenge/response over the shared fleet secret
+//!   ([`auth::fleet_secret`]) with protocol-version negotiation and
+//!   membership-epoch checks, so only fleet members of the current
+//!   generation get past the master's front door.
 //!
 //! Worker-side receives do **not** take the port — only the master is
 //! port-limited, exactly as in the model (each worker has its own link).
 
+pub mod auth;
 pub mod endpoint;
 pub mod frame;
 pub mod link;

@@ -29,6 +29,7 @@
 //! one-shot `run_*` entry points through pooled workers without any API
 //! change for callers.
 
+use crate::auth;
 use crate::endpoint::{MasterEndpoint, WorkerEndpoint};
 use crate::frame::{Frame, FrameKind, Tag};
 use crate::link::Pacing;
@@ -99,6 +100,16 @@ pub struct Session {
     /// The pacing every link was attached with — kept so workers
     /// admitted later ([`Session::admit`]) join under identical terms.
     pacing: Pacing,
+    /// The **membership epoch**: which generation of this fleet is
+    /// current. Starts at 1 and is bumped by every membership change
+    /// (`admit`, a non-empty `prune_dead`), stamped into each welcome,
+    /// and checked at the door — a connection presenting a previous
+    /// generation's epoch is stale (or a replay) and is rejected.
+    epoch: u64,
+    /// The fleet secret (`MWP_FLEET_SECRET` at construction) keying the
+    /// enrollment MACs for this session's whole lifetime, including
+    /// later `admit`s.
+    secret: Vec<u8>,
     /// Held from `begin_run` to `finish_run` via the [`RunEpoch`].
     run_lock: Mutex<()>,
 }
@@ -156,6 +167,8 @@ impl Session {
                     pumps: Vec::new(),
                     fingerprints: vec![Vec::new(); platform.len()],
                     pacing: Pacing { time_scale },
+                    epoch: 1,
+                    secret: auth::fleet_secret(),
                     run_lock: Mutex::new(()),
                 }
             }
@@ -179,6 +192,7 @@ impl Session {
     {
         let listener = TransportListener::bind(mode).expect("bind loopback listener");
         let endpoint = listener.endpoint();
+        let secret = auth::fleet_secret();
         let fp = fingerprint_bytes(&fingerprint(platform, time_scale));
         let handles: Vec<_> = platform
             .iter()
@@ -201,15 +215,25 @@ impl Session {
                     .expect("spawn session worker thread")
             })
             .collect();
-        let (master, pumps, fingerprints) =
-            accept_star(&listener, platform, time_scale, SERVICE_INPROC, Some(&fp), &handles)
-                .expect("accept loopback workers");
+        let (master, pumps, fingerprints) = accept_star(
+            &listener,
+            platform,
+            time_scale,
+            SERVICE_INPROC,
+            Some(&fp),
+            &handles,
+            &secret,
+            1,
+        )
+        .expect("accept loopback workers");
         Session {
             master,
             handles,
             pumps,
             fingerprints,
             pacing: Pacing { time_scale },
+            epoch: 1,
+            secret,
             run_lock: Mutex::new(()),
         }
     }
@@ -233,14 +257,17 @@ impl Session {
         listener: &TransportListener,
         service: u8,
     ) -> io::Result<Session> {
+        let secret = auth::fleet_secret();
         let (master, pumps, fingerprints) =
-            accept_star(listener, platform, time_scale, service, None, &[])?;
+            accept_star(listener, platform, time_scale, service, None, &[], &secret, 1)?;
         Ok(Session {
             master,
             handles: Vec::new(),
             pumps,
             fingerprints,
             pacing: Pacing { time_scale },
+            epoch: 1,
+            secret,
             run_lock: Mutex::new(()),
         })
     }
@@ -254,6 +281,10 @@ impl Session {
     ///
     /// Exclusivity with runs is structural: `admit` takes `&mut self`,
     /// which cannot coexist with an open [`RunEpoch`] borrow.
+    ///
+    /// Admission is a membership change, so the session's epoch is
+    /// bumped and the newcomer's welcome carries the **new** epoch —
+    /// every welcome issued before this admit is thereby stale.
     pub fn admit(
         &mut self,
         listener: &TransportListener,
@@ -262,32 +293,35 @@ impl Session {
     ) -> io::Result<WorkerId> {
         let mut stream = listener.accept()?;
         let peer = stream.peer();
-        stream.set_read_timeout(Some(transport::handshake_timeout()))?;
-        let hello = transport::parse_hello(&transport::expect_frame(
-            stream.recv_frame_capped(transport::MAX_HANDSHAKE_WIRE_LEN)?,
-            "hello",
-        )?)?;
+        let challenge = transport::master_challenge(stream.as_mut())?;
+        let hello =
+            transport::master_read_hello(stream.as_mut(), &self.secret, &challenge, self.epoch)?;
         let id = WorkerId(self.master.workers());
         if let Some(claimed) = hello.claimed {
             if claimed != id {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!(
-                        "{peer} claimed slot {} but the next open slot is {}",
-                        claimed.index(),
-                        id.index()
-                    ),
-                ));
+                let reason = format!(
+                    "{peer} claimed slot {} but the next open slot is {}",
+                    claimed.index(),
+                    id.index()
+                );
+                transport::send_reject(stream.as_mut(), transport::REJECT_SLOT, &reason);
+                return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
             }
         }
-        stream.send_frame(&transport::welcome_frame(&Welcome {
-            worker: id,
-            c: params.c,
-            w: params.w,
-            m: params.m as u64,
-            time_scale: self.pacing.time_scale,
-            service,
-        }))?;
+        self.epoch += 1;
+        stream.send_frame(&transport::welcome_frame(
+            &Welcome {
+                worker: id,
+                c: params.c,
+                w: params.w,
+                m: params.m as u64,
+                time_scale: self.pacing.time_scale,
+                service,
+                epoch: self.epoch,
+            },
+            &self.secret,
+            &hello.nonce,
+        ))?;
         // Same deadline discipline as `accept_star`: liveness read
         // deadline in place before the split so the in-pump's cloned
         // reader carries it.
@@ -331,6 +365,10 @@ impl Session {
             original += 1;
         }
         if !removed.is_empty() {
+            // A membership change: welcomes issued to the old fleet are
+            // now stale, so redialing a dead worker's old epoch at the
+            // door gets rejected instead of resurrecting a ghost slot.
+            self.epoch += 1;
             // Reap the pump threads the dropped links no longer need.
             // They exit on their own — the in-pump on the dead socket,
             // the out-pump when the link's channel sender drops — but
@@ -363,6 +401,14 @@ impl Session {
     /// The master endpoint (valid for the session's whole lifetime).
     pub fn master(&self) -> &MasterEndpoint {
         &self.master
+    }
+
+    /// The current membership epoch: 1 for a fresh fleet, bumped by every
+    /// [`Session::admit`] and every non-empty [`Session::prune_dead`].
+    /// Runtimes key their cached resource selection on this — a changed
+    /// epoch means the plan must be recomputed before the next run.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of pooled workers.
@@ -465,6 +511,7 @@ type AcceptedStar = (MasterEndpoint, Vec<thread::JoinHandle<()>>, Vec<Vec<u8>>);
 /// watched worker thread dying before its slot fills, which would
 /// otherwise leave this loop waiting for a connection that can never
 /// arrive.
+#[allow(clippy::too_many_arguments)]
 fn accept_star(
     listener: &TransportListener,
     platform: &Platform,
@@ -472,6 +519,8 @@ fn accept_star(
     service: u8,
     expect_fp: Option<&[u8]>,
     watch: &[thread::JoinHandle<()>],
+    secret: &[u8],
+    epoch: u64,
 ) -> io::Result<AcceptedStar> {
     let pacing = Pacing { time_scale };
     let p = platform.len();
@@ -506,18 +555,16 @@ fn accept_star(
         let enroll_one = || -> io::Result<()> {
             let mut stream = stream;
             let peer = stream.peer();
-            stream.set_read_timeout(Some(transport::handshake_timeout()))?;
-            let hello = transport::parse_hello(&transport::expect_frame(
-                stream.recv_frame_capped(transport::MAX_HANDSHAKE_WIRE_LEN)?,
-                "hello",
-            )?)?;
+            let challenge = transport::master_challenge(stream.as_mut())?;
+            let hello =
+                transport::master_read_hello(stream.as_mut(), secret, &challenge, epoch)?;
             let id = match hello.claimed {
                 Some(id) if id.index() < p && sides[id.index()].is_none() => id,
                 Some(id) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("{peer} claimed slot {} (out of range or taken)", id.index()),
-                    ));
+                    let reason =
+                        format!("{peer} claimed slot {} (out of range or taken)", id.index());
+                    transport::send_reject(stream.as_mut(), transport::REJECT_SLOT, &reason);
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
                 }
                 None => WorkerId(
                     (0..p).find(|&i| sides[i].is_none()).expect("filled < p: a slot is free"),
@@ -525,21 +572,29 @@ fn accept_star(
             };
             if let Some(expected) = expect_fp {
                 if hello.fingerprint != expected {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("{peer} enrolled with a foreign platform fingerprint"),
-                    ));
+                    let reason = format!("{peer} enrolled with a foreign platform fingerprint");
+                    transport::send_reject(
+                        stream.as_mut(),
+                        transport::REJECT_FINGERPRINT,
+                        &reason,
+                    );
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, reason));
                 }
             }
             let params = platform.workers()[id.index()];
-            stream.send_frame(&transport::welcome_frame(&Welcome {
-                worker: id,
-                c: params.c,
-                w: params.w,
-                m: params.m as u64,
-                time_scale,
-                service,
-            }))?;
+            stream.send_frame(&transport::welcome_frame(
+                &Welcome {
+                    worker: id,
+                    c: params.c,
+                    w: params.w,
+                    m: params.m as u64,
+                    time_scale,
+                    service,
+                    epoch,
+                },
+                secret,
+                &hello.nonce,
+            ))?;
             // Enrolled: swap the handshake deadline for the liveness
             // deadline (or clear it entirely when liveness is off —
             // session workers park on blocking reads by design). This
@@ -1005,6 +1060,7 @@ mod tests {
         let mut session =
             Session::accept_remote(&platform, 0.0, &listener, SERVICE_INPROC).unwrap();
         assert_eq!(session.workers(), 1);
+        assert_eq!(session.epoch(), 1, "a fresh fleet is generation 1");
         let epoch = session.begin_run(1, 1);
         session.master().send(
             WorkerId(0),
@@ -1020,6 +1076,7 @@ mod tests {
             .unwrap();
         assert_eq!(id, WorkerId(1));
         assert_eq!(session.workers(), 2);
+        assert_eq!(session.epoch(), 2, "admission is a membership change");
         assert_eq!(session.worker_fingerprints()[1], b"elastic".to_vec());
         let epoch = session.begin_run(2, 2);
         for w in 0..2 {
@@ -1064,11 +1121,14 @@ mod tests {
         let mut session =
             Session::accept_remote(&platform, 0.0, &listener, SERVICE_INPROC).unwrap();
         assert_eq!(session.dead_workers(), 0);
+        assert_eq!(session.prune_dead(), Vec::<usize>::new());
+        assert_eq!(session.epoch(), 1, "an empty prune is not a membership change");
         session.master().mark_dead(WorkerId(0));
         assert_eq!(session.dead_workers(), 1);
         assert_eq!(session.prune_dead(), vec![0]);
         assert_eq!(session.workers(), 1);
         assert_eq!(session.dead_workers(), 0);
+        assert_eq!(session.epoch(), 2, "pruning advances the membership epoch");
         // The survivor still serves a run at its new slot 0.
         let epoch = session.begin_run(1, 3);
         session.master().send(
@@ -1086,6 +1146,65 @@ mod tests {
         for w in workers {
             w.join().unwrap();
         }
+    }
+
+    /// A worker clinging to a previous fleet generation's epoch is
+    /// turned away at the door, and the same listener keeps admitting
+    /// fresh (epoch-0) members afterwards — one stale dialer must not
+    /// wedge elastic enrollment.
+    #[test]
+    fn stale_epoch_redial_is_rejected_but_the_door_stays_open() {
+        let platform = Platform::homogeneous(1, 1.0, 1.0, 8).unwrap();
+        let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+        let endpoint = listener.endpoint();
+        let dial = |epoch: u64| {
+            let endpoint = endpoint.clone();
+            thread::spawn(move || {
+                let stream = transport::connect_with_retry(
+                    &endpoint,
+                    std::time::Duration::from_secs(10),
+                )
+                .unwrap();
+                // The session under test reads its secret from the
+                // environment; read the same one so a CI leg exporting
+                // MWP_FLEET_SECRET exercises this gate authenticated.
+                let secret = auth::fleet_secret();
+                match transport::enroll_with(stream, None, b"fleet", &secret, epoch, None) {
+                    Ok((ep, welcome)) => {
+                        serve_worker(ep, &mut echo_program);
+                        Ok(welcome.epoch)
+                    }
+                    Err(e) => Err(e.kind()),
+                }
+            })
+        };
+        let w0 = dial(0);
+        let mut session =
+            Session::accept_remote(&platform, 0.0, &listener, SERVICE_INPROC).unwrap();
+        // Grow the fleet once so the current epoch moves past 1.
+        let w1 = dial(0);
+        session.admit(&listener, WorkerParams { c: 1.0, w: 1.0, m: 8 }, SERVICE_INPROC).unwrap();
+        assert_eq!(session.epoch(), 2);
+        // A replay from generation 1 is rejected by the admission gate…
+        let stale = dial(1);
+        let err = session
+            .admit(&listener, WorkerParams { c: 1.0, w: 1.0, m: 8 }, SERVICE_INPROC)
+            .expect_err("stale-epoch dialer must not be admitted");
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(stale.join().unwrap(), Err(io::ErrorKind::PermissionDenied));
+        assert_eq!(session.workers(), 2, "the stale dialer got no slot");
+        assert_eq!(session.epoch(), 2, "a rejected dialer is not a membership change");
+        // …while a fresh worker enrolls right after, at generation 3.
+        let w2 = dial(0);
+        let id = session
+            .admit(&listener, WorkerParams { c: 1.0, w: 1.0, m: 8 }, SERVICE_INPROC)
+            .unwrap();
+        assert_eq!(id, WorkerId(2));
+        assert_eq!(session.epoch(), 3);
+        drop(session);
+        assert_eq!(w0.join().unwrap(), Ok(1));
+        assert_eq!(w1.join().unwrap(), Ok(2));
+        assert_eq!(w2.join().unwrap(), Ok(3), "the newcomer's welcome carries the new epoch");
     }
 
     #[test]

@@ -21,13 +21,24 @@
 //!   implement it; a stream splits into independently-owned read and
 //!   write halves so a link can pump both directions concurrently.
 //! * **[`TransportListener`] / [`connect`]** — endpoint management with
-//!   `tcp://host:port` and `uds:/path` address strings.
-//! * **Handshake** — [`Hello`] (worker → master: claimed slot +
-//!   fingerprint bytes) and [`Welcome`] (master → worker: assigned
-//!   [`WorkerId`], the worker's `(c, w, m)` parameters, the pacing scale,
-//!   and the [service id](SERVICE_MATRIX) naming which worker program the
-//!   master expects). Both ride the frame format itself, as `Control`
-//!   frames with reserved sentinels.
+//!   `tcp://host:port` and `uds:/path` address strings; `MWP_BIND` (see
+//!   [`TransportListener::bind_env`]) moves the master off loopback for
+//!   real multi-host fleets.
+//! * **Handshake** — an authenticated three-frame exchange (protocol
+//!   version [`PROTOCOL_VERSION`]): the master opens with a
+//!   [challenge](challenge_frame) nonce, the worker answers with a
+//!   [`Hello`] (claimed slot, fleet epoch, its own nonce, fingerprint
+//!   bytes) carrying an HMAC over the challenge and every asserted field
+//!   keyed by the shared fleet secret ([`crate::auth::fleet_secret`]),
+//!   and the master closes with a [`Welcome`] (assigned [`WorkerId`],
+//!   the worker's `(c, w, m)` parameters, the pacing scale, the
+//!   [service id](SERVICE_MATRIX), and the membership epoch) MAC'd over
+//!   the worker's nonce — mutual authentication, replay-proof in both
+//!   directions. A peer that fails any check gets a [`REJECT`] frame
+//!   naming the reason and is dropped; a pre-v2 or future-version peer
+//!   degrades to that clean rejection instead of a decode panic. All
+//!   frames ride the frame format itself, as `Control` frames with
+//!   reserved sentinels.
 //! * **[`RemoteLink`]** — the master-facing half of a socket link: a
 //!   channel-backed [`MasterSide`] (so [`crate::MasterEndpoint`] is
 //!   byte-for-byte the code the channel transport uses) bridged to the
@@ -44,6 +55,7 @@
 //! via `Session::spawn_with_transport`; out-of-process workers attach via
 //! `Session::accept_remote` + the `mwp-worker` binary.
 
+use crate::auth;
 use crate::endpoint::WorkerEndpoint;
 use crate::frame::{Frame, FrameKind, Tag};
 use crate::link::{Link, MasterSide, Pacing};
@@ -482,6 +494,54 @@ impl TransportListener {
         Ok(TransportListener::Tcp(TcpListener::bind(addr)?))
     }
 
+    /// Bind a Unix-domain listener on an explicit socket path. The path
+    /// is unlinked when the listener drops, like [`bind`](Self::bind)'s
+    /// temp-dir sockets.
+    #[cfg(unix)]
+    pub fn bind_uds(path: &str) -> io::Result<Self> {
+        let path = PathBuf::from(path);
+        let listener = UnixListener::bind(&path)?;
+        Ok(TransportListener::Uds { listener, path })
+    }
+
+    /// Bind honoring `MWP_BIND` (see [`parse_bind_spec`]): an explicit
+    /// `tcp://ip:port` or `uds:/path` address when the variable is set —
+    /// how a master exposes its listener beyond loopback — else exactly
+    /// [`bind`](Self::bind)'s loopback/temp-dir default. The bind
+    /// address's scheme must agree with `mode`: a `tcp://` bind under
+    /// `MWP_TRANSPORT=uds` is a configuration contradiction and errors
+    /// rather than silently ignoring one of the two switches.
+    pub fn bind_env(mode: TransportMode) -> io::Result<Self> {
+        let spec = match std::env::var("MWP_BIND") {
+            Ok(v) => parse_bind_spec(&v).unwrap_or_else(|e| panic!("MWP_BIND: {e}")),
+            Err(_) => None,
+        };
+        let Some(spec) = spec else { return Self::bind(mode) };
+        let mismatch = |scheme: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("MWP_BIND is a {scheme} address but the transport mode is {mode:?}"),
+            )
+        };
+        if let Some(addr) = spec.strip_prefix("tcp://") {
+            if mode != TransportMode::Tcp {
+                return Err(mismatch("tcp://"));
+            }
+            return Self::bind_tcp(addr);
+        }
+        #[cfg(unix)]
+        if let Some(path) = spec.strip_prefix("uds:") {
+            if mode != TransportMode::Uds {
+                return Err(mismatch("uds:"));
+            }
+            return Self::bind_uds(path);
+        }
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("MWP_BIND '{spec}' is not supported on this platform"),
+        ))
+    }
+
     /// The endpoint string workers dial: `tcp://ip:port` or `uds:/path`.
     pub fn endpoint(&self) -> String {
         match self {
@@ -577,6 +637,25 @@ pub fn connect(endpoint: &str) -> io::Result<Box<dyn FrameStream>> {
     ))
 }
 
+/// Parse an `MWP_BIND` value: empty means "no override" (`None` — the
+/// master binds loopback), otherwise an explicit `tcp://ip:port` or
+/// `uds:/path` listen address. Strict, like every other `MWP_*` switch:
+/// a typo'd bind address must error, not silently leave the master on
+/// loopback with remote workers dialing a listener that does not exist.
+pub fn parse_bind_spec(value: &str) -> Result<Option<String>, String> {
+    let v = value.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    let valid_tcp = v.strip_prefix("tcp://").is_some_and(|a| !a.is_empty());
+    let valid_uds = v.strip_prefix("uds:").is_some_and(|p| !p.is_empty());
+    if valid_tcp || valid_uds {
+        Ok(Some(v.to_string()))
+    } else {
+        Err(format!("unknown bind address '{value}' (valid: tcp://ip:port, uds:/path)"))
+    }
+}
+
 /// An exponential-backoff retry schedule with jitter and a total-deadline
 /// cap. Pure arithmetic over an **injected clock** (the caller reports
 /// elapsed time), so the exact schedule is unit-testable without
@@ -661,6 +740,22 @@ pub enum FaultAction {
     /// Write a torn frame — correct length prefix, half the bytes — then
     /// fail every later write: the peer sees stream corruption.
     Truncate,
+    /// Handshake-stage fault: instead of a hello, send an unrelated
+    /// frame — a peer that does not speak the enrollment protocol. The
+    /// master must reject it (protocol/version) and keep accepting.
+    BadHello,
+    /// Handshake-stage fault: send a well-formed hello whose HMAC is
+    /// corrupted — a peer without the fleet secret. The master must
+    /// reject it (authentication) and keep accepting.
+    BadAuth,
+}
+
+impl FaultAction {
+    /// Handshake-stage faults fire once, inside [`enroll_with`], instead
+    /// of wrapping the stream's send path like the data-plane faults.
+    pub fn is_handshake(self) -> bool {
+        matches!(self, FaultAction::BadHello | FaultAction::BadAuth)
+    }
 }
 
 /// A deterministic transport fault: after `after` outbound data frames
@@ -678,8 +773,10 @@ pub struct FaultSpec {
 /// Parse an `MWP_FAULT` value: empty means "no fault" (`None`);
 /// otherwise `kill:<n>`, `drop:<n>`, `delay:<n>:<ms>`, or
 /// `truncate:<n>`, where `<n>` is the number of outbound data frames
-/// that pass before the fault fires. Strict: anything else is an error
-/// naming the valid forms.
+/// that pass before the fault fires — or a bare `badhello` / `badauth`
+/// handshake fault, which fires at enrollment (there is no frame count
+/// to wait for: the handshake is the first exchange). Strict: anything
+/// else is an error naming the valid forms.
 pub fn parse_fault_spec(value: &str) -> Result<Option<FaultSpec>, String> {
     let v = value.trim();
     if v.is_empty() {
@@ -687,9 +784,15 @@ pub fn parse_fault_spec(value: &str) -> Result<Option<FaultSpec>, String> {
     }
     let bad = || {
         format!(
-            "unknown fault '{value}' (valid: kill:<n>, drop:<n>, delay:<n>:<ms>, truncate:<n>)"
+            "unknown fault '{value}' (valid: kill:<n>, drop:<n>, delay:<n>:<ms>, truncate:<n>, \
+             badhello, badauth)"
         )
     };
+    match v {
+        "badhello" => return Ok(Some(FaultSpec { action: FaultAction::BadHello, after: 0 })),
+        "badauth" => return Ok(Some(FaultSpec { action: FaultAction::BadAuth, after: 0 })),
+        _ => {}
+    }
     let mut parts = v.split(':');
     let action = parts.next().unwrap_or("");
     let after: u64 = parts.next().and_then(|n| n.parse().ok()).ok_or_else(bad)?;
@@ -769,6 +872,9 @@ impl FaultState {
                 self.poisoned.store(true, Relaxed);
                 Err(io::Error::new(io::ErrorKind::BrokenPipe, "fault: frame torn mid-write"))
             }
+            // Handshake faults never reach the stream wrapper — they are
+            // consumed by `enroll_with` before any data frame exists.
+            FaultAction::BadHello | FaultAction::BadAuth => Ok(true),
         }
     }
 }
@@ -875,7 +981,11 @@ impl<S: RawStream> FrameWrite for FaultyWriter<S> {
 /// path: `MWP_FAULT` wraps the worker's side of the wire, so every
 /// master-side recovery path can be exercised deterministically.
 pub fn connect_faulty(endpoint: &str, fault: Option<FaultSpec>) -> io::Result<Box<dyn FrameStream>> {
-    let Some(fault) = fault else { return connect(endpoint) };
+    // Handshake-stage faults are enacted inside `enroll_with`, not by
+    // wrapping the stream: the connection itself is an honest one.
+    let Some(fault) = fault.filter(|f| !f.action.is_handshake()) else {
+        return connect(endpoint);
+    };
     if let Some(addr) = endpoint.strip_prefix("tcp://") {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -931,8 +1041,42 @@ pub fn connect_with_retry_faulty(
 pub const HELLO: u32 = u32::MAX - 2;
 /// `Tag::i` sentinel of the welcome control frame (master → worker).
 pub const WELCOME: u32 = u32::MAX - 3;
+/// `Tag::i` sentinel of the challenge control frame (master → worker):
+/// the first frame on every new connection. `Tag::j` carries the
+/// master's [`PROTOCOL_VERSION`], the payload its 16-byte challenge
+/// nonce.
+pub const CHALLENGE: u32 = u32::MAX - 4;
+/// `Tag::i` sentinel of the rejection control frame (master → worker):
+/// the handshake failed, `Tag::j` names why (one of the `REJECT_*`
+/// codes), the payload is a human-readable reason. Sent best-effort
+/// before the master drops the connection, so a rejected worker fails
+/// with a diagnosis instead of a bare EOF.
+pub const REJECT: u32 = u32::MAX - 5;
 /// `Tag::j` value in a hello meaning "assign me any free worker slot".
 pub const CLAIM_ANY: u32 = u32::MAX;
+
+/// Version of the enrollment handshake this build speaks. A peer
+/// presenting any other version — including a pre-versioning build,
+/// whose hello has no version field at all — is turned away with a
+/// [`REJECT_VERSION`] rejection instead of a decode error, so mixed
+/// fleets degrade to a clean, diagnosable refusal.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Reject code: protocol-version mismatch (or a first frame that is not
+/// a hello at all — a peer not speaking this protocol).
+pub const REJECT_VERSION: u32 = 1;
+/// Reject code: the hello's HMAC does not verify — wrong or missing
+/// fleet secret.
+pub const REJECT_AUTH: u32 = 2;
+/// Reject code: the hello presented a stale membership epoch — a
+/// connection (or replay) from a previous fleet generation.
+pub const REJECT_EPOCH: u32 = 3;
+/// Reject code: the claimed worker slot is not the one the master is
+/// enrolling.
+pub const REJECT_SLOT: u32 = 4;
+/// Reject code: the fingerprint does not match what the master expects
+/// (a cross-wired loopback connect).
+pub const REJECT_FINGERPRINT: u32 = 5;
 
 /// Service id: the master serves matrix-product runs (the worker must run
 /// the `mwp-core` Algorithm 2 program).
@@ -943,12 +1087,22 @@ pub const SERVICE_LU: u8 = 1;
 /// (loopback transport): the welcome's service byte is advisory only.
 pub const SERVICE_INPROC: u8 = 255;
 
-/// The first frame on a new connection: the worker introduces itself.
+/// The worker's answer to the master's challenge: who it is and which
+/// fleet generation it believes it belongs to.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hello {
     /// The worker slot this connection claims, or `None` to let the
     /// master assign the next free slot (out-of-process workers).
     pub claimed: Option<WorkerId>,
+    /// The membership epoch the worker believes is current. `0` means
+    /// "fresh connection, no prior generation" — always admissible. A
+    /// non-zero epoch that is not the master's current one marks a
+    /// stale or replayed connection from a previous fleet generation
+    /// and is rejected at the door ([`REJECT_EPOCH`]).
+    pub epoch: u64,
+    /// The worker's handshake nonce: the master's welcome MAC covers it,
+    /// so a recorded welcome cannot be replayed to a later enrollment.
+    pub nonce: [u8; 16],
     /// Opaque fingerprint bytes: loopback workers send the platform
     /// fingerprint (and the master verifies it — a cross-wired connect
     /// must fail fast); remote workers send a self-description (binary
@@ -974,6 +1128,10 @@ pub struct Welcome {
     /// Which worker program the master expects ([`SERVICE_MATRIX`],
     /// [`SERVICE_LU`], or [`SERVICE_INPROC`]).
     pub service: u8,
+    /// The fleet's membership epoch at enrollment. Bumped by the session
+    /// on every `admit`/`prune_dead`, so it names the exact fleet
+    /// generation this worker joined.
+    pub epoch: u64,
 }
 
 /// How long each side of the enrollment handshake waits for the peer's
@@ -990,47 +1148,188 @@ pub fn handshake_timeout() -> Duration {
     Duration::from_millis(ms)
 }
 
-/// Encode a [`Hello`] as its control frame.
-pub fn hello_frame(hello: &Hello) -> Frame {
-    let j = hello.claimed.map_or(CLAIM_ANY, |id| id.index() as u32);
-    Frame::new(
-        Tag { kind: FrameKind::Control, i: HELLO, j },
-        Bytes::from(hello.fingerprint.clone()),
+/// Fixed-field length of a v2 hello payload: version (4) + epoch (8) +
+/// worker nonce (16) + MAC (32); fingerprint bytes follow. A shorter
+/// payload can only come from a different protocol version.
+const HELLO_FIXED_LEN: usize = 4 + 8 + 16 + 32;
+/// Byte offset of the MAC within a hello payload.
+const HELLO_MAC_AT: usize = 4 + 8 + 16;
+/// Exact length of a v2 welcome payload: c, w, m, time_scale (8 each) +
+/// service (1) + epoch (8) + MAC (32).
+const WELCOME_WIRE_LEN: usize = 8 * 4 + 1 + 8 + 32;
+/// Byte offset of the MAC within a welcome payload (everything before it
+/// is the MAC'd fixed image).
+const WELCOME_MAC_AT: usize = WELCOME_WIRE_LEN - 32;
+
+/// The hello's authentication tag: an HMAC over the master's challenge
+/// nonce and **every field the hello asserts** (version, claimed slot,
+/// epoch, worker nonce, fingerprint), domain-separated from the welcome
+/// MAC. Binding the challenge makes a recorded hello worthless against
+/// any later connection.
+fn hello_mac(
+    secret: &[u8],
+    challenge: &[u8; 16],
+    claim_j: u32,
+    epoch: u64,
+    nonce: &[u8; 16],
+    fingerprint: &[u8],
+) -> [u8; 32] {
+    auth::hmac_sha256(
+        secret,
+        &[
+            b"mwp-hello-v2",
+            challenge,
+            &PROTOCOL_VERSION.to_le_bytes(),
+            &claim_j.to_le_bytes(),
+            &epoch.to_le_bytes(),
+            nonce,
+            fingerprint,
+        ],
     )
 }
 
-/// Decode a [`Hello`] from the connection's first frame.
+/// The welcome's authentication tag: an HMAC over the worker's nonce,
+/// the assigned slot, and the welcome's fixed fields — the worker's
+/// proof that the welcoming master holds the fleet secret and that this
+/// welcome answers *this* enrollment, not a recorded one.
+fn welcome_mac(secret: &[u8], worker_nonce: &[u8; 16], worker_j: u32, fixed: &[u8]) -> [u8; 32] {
+    auth::hmac_sha256(secret, &[b"mwp-welcome-v2", worker_nonce, &worker_j.to_le_bytes(), fixed])
+}
+
+/// Encode the master's opening challenge: protocol version in `Tag::j`,
+/// the 16-byte challenge nonce as payload.
+pub fn challenge_frame(nonce: &[u8; 16]) -> Frame {
+    Frame::new(
+        Tag { kind: FrameKind::Control, i: CHALLENGE, j: PROTOCOL_VERSION },
+        Bytes::from(nonce.to_vec()),
+    )
+}
+
+/// Decode the master's challenge and return its nonce. A version other
+/// than [`PROTOCOL_VERSION`] is refused here, on the worker side, with
+/// [`io::ErrorKind::Unsupported`] — the worker-facing half of version
+/// negotiation (the master-facing half is [`master_read_hello`]).
+pub fn parse_challenge(frame: &Frame) -> io::Result<[u8; 16]> {
+    expect_sentinel(frame, CHALLENGE, "challenge")?;
+    if frame.tag.j != PROTOCOL_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!(
+                "master speaks enrollment protocol v{}, this build speaks v{PROTOCOL_VERSION}",
+                frame.tag.j
+            ),
+        ));
+    }
+    frame.payload.as_ref().try_into().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("challenge nonce is {} bytes, expected 16", frame.payload.len()),
+        )
+    })
+}
+
+/// Encode a [`Hello`] answering `challenge`, MAC'd with `secret`.
+pub fn hello_frame(hello: &Hello, secret: &[u8], challenge: &[u8; 16]) -> Frame {
+    let j = hello.claimed.map_or(CLAIM_ANY, |id| id.index() as u32);
+    let mac = hello_mac(secret, challenge, j, hello.epoch, &hello.nonce, &hello.fingerprint);
+    let mut payload = Vec::with_capacity(HELLO_FIXED_LEN + hello.fingerprint.len());
+    payload.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    payload.extend_from_slice(&hello.epoch.to_le_bytes());
+    payload.extend_from_slice(&hello.nonce);
+    payload.extend_from_slice(&mac);
+    payload.extend_from_slice(&hello.fingerprint);
+    Frame::new(Tag { kind: FrameKind::Control, i: HELLO, j }, Bytes::from(payload))
+}
+
+/// Decode a [`Hello`] (structure and version only — authenticity is
+/// [`hello_authentic`]'s job, which needs the secret and the challenge).
+/// A payload too short to be v2, or one carrying a different version
+/// number, errors with [`io::ErrorKind::Unsupported`]: it is a
+/// different-protocol peer, not stream corruption.
 pub fn parse_hello(frame: &Frame) -> io::Result<Hello> {
     expect_sentinel(frame, HELLO, "hello")?;
+    let p = &frame.payload;
+    if p.len() < HELLO_FIXED_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!(
+                "hello payload is {} bytes — shorter than a v{PROTOCOL_VERSION} hello \
+                 (a pre-v{PROTOCOL_VERSION} peer?)",
+                p.len()
+            ),
+        ));
+    }
+    let version = u32::from_le_bytes(p[0..4].try_into().expect("len checked"));
+    if version != PROTOCOL_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("peer speaks enrollment protocol v{version}, this build speaks v{PROTOCOL_VERSION}"),
+        ));
+    }
     let claimed = match frame.tag.j {
         CLAIM_ANY => None,
         idx => Some(WorkerId(idx as usize)),
     };
-    Ok(Hello { claimed, fingerprint: frame.payload.to_vec() })
+    Ok(Hello {
+        claimed,
+        epoch: u64::from_le_bytes(p[4..12].try_into().expect("len checked")),
+        nonce: p[12..28].try_into().expect("len checked"),
+        fingerprint: p[HELLO_FIXED_LEN..].to_vec(),
+    })
 }
 
-/// Encode a [`Welcome`] as its control frame.
-pub fn welcome_frame(welcome: &Welcome) -> Frame {
-    let mut payload = Vec::with_capacity(33);
+/// Verify a parsed hello's MAC against the challenge it answers.
+/// Constant-time on the tag comparison.
+pub fn hello_authentic(
+    frame: &Frame,
+    hello: &Hello,
+    secret: &[u8],
+    challenge: &[u8; 16],
+) -> bool {
+    let presented: [u8; 32] = match frame.payload.get(HELLO_MAC_AT..HELLO_FIXED_LEN) {
+        Some(mac) => mac.try_into().expect("32-byte slice"),
+        None => return false,
+    };
+    let expected =
+        hello_mac(secret, challenge, frame.tag.j, hello.epoch, &hello.nonce, &hello.fingerprint);
+    auth::macs_equal(&presented, &expected)
+}
+
+/// Encode a [`Welcome`] as its control frame, MAC'd over the enrolling
+/// worker's hello nonce.
+pub fn welcome_frame(welcome: &Welcome, secret: &[u8], worker_nonce: &[u8; 16]) -> Frame {
+    let mut payload = Vec::with_capacity(WELCOME_WIRE_LEN);
     payload.extend_from_slice(&welcome.c.to_le_bytes());
     payload.extend_from_slice(&welcome.w.to_le_bytes());
     payload.extend_from_slice(&welcome.m.to_le_bytes());
     payload.extend_from_slice(&welcome.time_scale.to_le_bytes());
     payload.push(welcome.service);
-    Frame::new(
-        Tag { kind: FrameKind::Control, i: WELCOME, j: welcome.worker.index() as u32 },
-        Bytes::from(payload),
-    )
+    payload.extend_from_slice(&welcome.epoch.to_le_bytes());
+    let j = welcome.worker.index() as u32;
+    let mac = welcome_mac(secret, worker_nonce, j, &payload);
+    payload.extend_from_slice(&mac);
+    Frame::new(Tag { kind: FrameKind::Control, i: WELCOME, j }, Bytes::from(payload))
 }
 
-/// Decode a [`Welcome`] frame.
-pub fn parse_welcome(frame: &Frame) -> io::Result<Welcome> {
+/// Decode and authenticate a [`Welcome`] frame: the MAC must verify
+/// against this enrollment's own nonce, or the "master" does not hold
+/// the fleet secret (or is replaying someone else's welcome) and the
+/// worker refuses to serve it ([`io::ErrorKind::PermissionDenied`]).
+pub fn parse_welcome(frame: &Frame, secret: &[u8], worker_nonce: &[u8; 16]) -> io::Result<Welcome> {
     expect_sentinel(frame, WELCOME, "welcome")?;
     let p = &frame.payload;
-    if p.len() != 33 {
+    if p.len() != WELCOME_WIRE_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("welcome payload is {} bytes, expected 33", p.len()),
+            format!("welcome payload is {} bytes, expected {WELCOME_WIRE_LEN}", p.len()),
+        ));
+    }
+    let presented: [u8; 32] = p[WELCOME_MAC_AT..].try_into().expect("len checked");
+    let expected = welcome_mac(secret, worker_nonce, frame.tag.j, &p[..WELCOME_MAC_AT]);
+    if !auth::macs_equal(&presented, &expected) {
+        return Err(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            "welcome MAC does not verify: the master does not hold this fleet's secret",
         ));
     }
     let f64_at = |o: usize| f64::from_le_bytes(p[o..o + 8].try_into().expect("len checked"));
@@ -1041,7 +1340,44 @@ pub fn parse_welcome(frame: &Frame) -> io::Result<Welcome> {
         m: u64::from_le_bytes(p[16..24].try_into().expect("len checked")),
         time_scale: f64_at(24),
         service: p[32],
+        epoch: u64::from_le_bytes(p[33..41].try_into().expect("len checked")),
     })
+}
+
+/// Encode a handshake rejection: reason code in `Tag::j`, human-readable
+/// detail as payload.
+pub fn reject_frame(code: u32, reason: &str) -> Frame {
+    Frame::new(
+        Tag { kind: FrameKind::Control, i: REJECT, j: code },
+        Bytes::from(reason.as_bytes().to_vec()),
+    )
+}
+
+/// Is this frame a handshake rejection?
+pub fn is_reject(frame: &Frame) -> bool {
+    frame.tag.kind == FrameKind::Control && frame.tag.i == REJECT
+}
+
+/// Map a received [`REJECT`] frame to the error the worker surfaces:
+/// version mismatches are [`io::ErrorKind::Unsupported`], failed
+/// authentication and stale epochs are
+/// [`io::ErrorKind::PermissionDenied`], slot/fingerprint disputes are
+/// [`io::ErrorKind::InvalidData`]. All of them are **permanent** — the
+/// retry loop in [`enroll_with_retry`] gives up on them immediately.
+pub fn reject_error(frame: &Frame) -> io::Error {
+    let reason = String::from_utf8_lossy(&frame.payload);
+    let kind = match frame.tag.j {
+        REJECT_VERSION => io::ErrorKind::Unsupported,
+        REJECT_AUTH | REJECT_EPOCH => io::ErrorKind::PermissionDenied,
+        _ => io::ErrorKind::InvalidData,
+    };
+    io::Error::new(kind, format!("master rejected enrollment: {reason}"))
+}
+
+/// Best-effort rejection: tell the peer why before dropping it. Failures
+/// are ignored — the connection is being torn down either way.
+pub fn send_reject(stream: &mut dyn FrameStream, code: u32, reason: &str) {
+    let _ = stream.send_frame(&reject_frame(code, reason));
 }
 
 /// Require `frame` to be the `sentinel` control frame.
@@ -1055,27 +1391,6 @@ fn expect_sentinel(frame: &Frame, sentinel: u32, what: &str) -> io::Result<()> {
     Ok(())
 }
 
-/// Receive and decode a [`Hello`] from a framed reader (the split-halves
-/// counterpart of the pre-split handshake; see [`enroll`]).
-pub fn read_hello(r: &mut dyn FrameRead) -> io::Result<Hello> {
-    parse_hello(&expect_frame(r.recv_frame()?, "hello")?)
-}
-
-/// Receive and decode a [`Welcome`] from a framed reader.
-pub fn read_welcome(r: &mut dyn FrameRead) -> io::Result<Welcome> {
-    parse_welcome(&expect_frame(r.recv_frame()?, "welcome")?)
-}
-
-/// Send a [`Hello`] on a framed writer.
-pub fn write_hello(w: &mut dyn FrameWrite, hello: &Hello) -> io::Result<()> {
-    w.send_frame(&hello_frame(hello))
-}
-
-/// Send a [`Welcome`] on a framed writer.
-pub fn write_welcome(w: &mut dyn FrameWrite, welcome: &Welcome) -> io::Result<()> {
-    w.send_frame(&welcome_frame(welcome))
-}
-
 /// A handshake frame must exist — EOF mid-handshake is an error.
 pub(crate) fn expect_frame(frame: Option<Frame>, what: &str) -> io::Result<Frame> {
     frame.ok_or_else(|| {
@@ -1083,27 +1398,131 @@ pub(crate) fn expect_frame(frame: Option<Frame>, what: &str) -> io::Result<Frame
     })
 }
 
-/// Worker-process (or loopback worker-thread) enrollment: send a hello
-/// over `stream` — claiming `claim` or asking for any slot — and build a
-/// socket-backed [`WorkerEndpoint`] from the returned welcome. The
-/// endpoint drives the exact same worker programs as the channel
-/// transport; see [`crate::session::serve_worker`] for the outer loop.
-///
-/// The welcome is read on the unsplit stream under the
-/// [`handshake_timeout`] deadline and the [`MAX_HANDSHAKE_WIRE_LEN`]
-/// budget — a silent or hostile "master" cannot park this worker forever
-/// or feed it a giant allocation. The deadline is cleared before the
-/// stream splits into the endpoint's halves (enrolled workers park
-/// indefinitely between runs by design).
+/// Master side, step 1 of enrollment: put the fresh connection under the
+/// [`handshake_timeout`] read deadline and send the protocol challenge.
+/// Returns the challenge nonce the peer's hello must answer.
+pub fn master_challenge(stream: &mut dyn FrameStream) -> io::Result<[u8; 16]> {
+    stream.set_read_timeout(Some(handshake_timeout()))?;
+    let nonce = auth::fresh_nonce();
+    stream.send_frame(&challenge_frame(&nonce))?;
+    Ok(nonce)
+}
+
+/// Master side, step 2 of enrollment: read and vet the peer's hello.
+/// Every admission gate lives here — protocol structure and version,
+/// the HMAC against `challenge` under `secret`, and the membership
+/// `epoch` (a hello may present epoch 0, "fresh connection", or the
+/// current epoch; anything else is a stale generation). A peer failing
+/// any gate is told why with a best-effort [`REJECT`] frame and the
+/// error is returned; the caller drops the connection and keeps
+/// accepting — one bad dialer must never wedge the fleet's front door.
+pub fn master_read_hello(
+    stream: &mut dyn FrameStream,
+    secret: &[u8],
+    challenge: &[u8; 16],
+    epoch: u64,
+) -> io::Result<Hello> {
+    let frame = expect_frame(stream.recv_frame_capped(MAX_HANDSHAKE_WIRE_LEN)?, "hello")?;
+    let hello = match parse_hello(&frame) {
+        Ok(h) => h,
+        Err(e) => {
+            // Wrong version *or* not a hello at all: either way the peer
+            // does not speak this protocol revision. Degrade to a clean,
+            // named rejection — never a decode panic.
+            send_reject(stream, REJECT_VERSION, &format!("unsupported handshake: {e}"));
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("peer does not speak this handshake: {e}"),
+            ));
+        }
+    };
+    if !hello_authentic(&frame, &hello, secret, challenge) {
+        send_reject(stream, REJECT_AUTH, "hello MAC does not verify (wrong or missing fleet secret)");
+        return Err(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            format!("unauthenticated hello from {}", stream.peer()),
+        ));
+    }
+    if hello.epoch != 0 && hello.epoch != epoch {
+        send_reject(
+            stream,
+            REJECT_EPOCH,
+            &format!("membership epoch {} is stale (fleet is at {epoch})", hello.epoch),
+        );
+        return Err(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            format!("stale epoch {} from {} (fleet is at {epoch})", hello.epoch, stream.peer()),
+        ));
+    }
+    Ok(hello)
+}
+
+/// Worker-process (or loopback worker-thread) enrollment with the
+/// ambient configuration: the fleet secret from `MWP_FLEET_SECRET`, a
+/// fresh (epoch-0) membership claim, and no fault injection. See
+/// [`enroll_with`].
 pub fn enroll(
-    mut stream: Box<dyn FrameStream>,
+    stream: Box<dyn FrameStream>,
     claim: Option<WorkerId>,
     fingerprint: &[u8],
 ) -> io::Result<(WorkerEndpoint, Welcome)> {
+    enroll_with(stream, claim, fingerprint, &auth::fleet_secret(), 0, None)
+}
+
+/// Worker-process enrollment, fully parameterized: await the master's
+/// challenge, answer with a MAC'd hello — claiming `claim` or asking for
+/// any slot, presenting `epoch` as the believed fleet generation — and
+/// build a socket-backed [`WorkerEndpoint`] from the returned welcome
+/// (whose own MAC is verified: mutual authentication). The endpoint
+/// drives the exact same worker programs as the channel transport; see
+/// [`crate::session::serve_worker`] for the outer loop.
+///
+/// The handshake runs on the unsplit stream under the
+/// [`handshake_timeout`] deadline and the [`MAX_HANDSHAKE_WIRE_LEN`]
+/// budget — a silent or hostile "master" cannot park this worker forever
+/// or feed it a giant allocation. The deadline is swapped for the
+/// liveness deadline before the stream splits into the endpoint's halves
+/// (enrolled workers park indefinitely between runs by design; the
+/// master's idle-link heartbeats keep the socket warm).
+///
+/// A handshake-stage [`FaultSpec`] (`badhello`/`badauth`) is enacted
+/// here: the hello goes out as an unrelated frame, or with a corrupted
+/// MAC — chaos tests use this to exercise the master's rejection path
+/// with real processes. Data-plane faults are ignored here (they wrap
+/// the stream in [`connect_faulty`] instead).
+pub fn enroll_with(
+    mut stream: Box<dyn FrameStream>,
+    claim: Option<WorkerId>,
+    fingerprint: &[u8],
+    secret: &[u8],
+    epoch: u64,
+    fault: Option<FaultSpec>,
+) -> io::Result<(WorkerEndpoint, Welcome)> {
     stream.set_read_timeout(Some(handshake_timeout()))?;
-    stream.send_frame(&hello_frame(&Hello { claimed: claim, fingerprint: fingerprint.to_vec() }))?;
-    let welcome =
-        parse_welcome(&expect_frame(stream.recv_frame_capped(MAX_HANDSHAKE_WIRE_LEN)?, "welcome")?)?;
+    let challenge =
+        parse_challenge(&expect_frame(stream.recv_frame_capped(MAX_HANDSHAKE_WIRE_LEN)?, "challenge")?)?;
+    let hello =
+        Hello { claimed: claim, epoch, nonce: auth::fresh_nonce(), fingerprint: fingerprint.to_vec() };
+    let outbound = match fault.map(|f| f.action) {
+        // A peer that does not speak the protocol: any valid frame that
+        // is not a hello.
+        Some(FaultAction::BadHello) => Frame::shutdown(),
+        // A peer without the secret: a structurally perfect hello whose
+        // MAC is off by one bit.
+        Some(FaultAction::BadAuth) => {
+            let good = hello_frame(&hello, secret, &challenge);
+            let mut payload = good.payload.to_vec();
+            payload[HELLO_MAC_AT] ^= 0x01;
+            Frame::new(good.tag, Bytes::from(payload))
+        }
+        _ => hello_frame(&hello, secret, &challenge),
+    };
+    stream.send_frame(&outbound)?;
+    let reply = expect_frame(stream.recv_frame_capped(MAX_HANDSHAKE_WIRE_LEN)?, "welcome")?;
+    if is_reject(&reply) {
+        return Err(reject_error(&reply));
+    }
+    let welcome = parse_welcome(&reply, secret, &hello.nonce)?;
     // Enrolled: swap the handshake deadline for the liveness deadline.
     // The master's idle-link heartbeats keep arriving even while this
     // worker is parked between runs, so only a dead or wedged master
@@ -1120,6 +1539,61 @@ pub fn enroll(
     }
     let (reader, writer) = stream.split()?;
     Ok((WorkerEndpoint::remote(welcome.worker, reader, writer), welcome))
+}
+
+/// Dial + enroll with retries: the worker binary's whole connection
+/// story in one call. **Transient** failures — the master's listener not
+/// up yet, a connection refused/reset/aborted mid-churn, a not-yet-bound
+/// Unix socket path, a peer that closed before answering — retry on the
+/// jittered exponential [`Backoff`] until `deadline` elapses. Everything
+/// else fails **fast**: an authentication rejection, a version mismatch,
+/// or a slot dispute will not change on retry, and hammering the
+/// master's accept loop with doomed handshakes would only hide the real
+/// error behind a timeout.
+pub fn enroll_with_retry(
+    endpoint: &str,
+    deadline: Duration,
+    claim: Option<WorkerId>,
+    fingerprint: &[u8],
+) -> io::Result<(WorkerEndpoint, Welcome)> {
+    enroll_with_retry_faulty(endpoint, deadline, claim, fingerprint, None)
+}
+
+/// [`enroll_with_retry`] with fault injection: data-plane faults wrap
+/// the stream ([`connect_faulty`]), handshake faults fire inside
+/// [`enroll_with`].
+pub fn enroll_with_retry_faulty(
+    endpoint: &str,
+    deadline: Duration,
+    claim: Option<WorkerId>,
+    fingerprint: &[u8],
+    fault: Option<FaultSpec>,
+) -> io::Result<(WorkerEndpoint, Welcome)> {
+    let secret = auth::fleet_secret();
+    let start = std::time::Instant::now();
+    let mut backoff = Backoff::for_dial(deadline);
+    let transient = |kind: io::ErrorKind| {
+        matches!(
+            kind,
+            io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::NotFound
+                | io::ErrorKind::UnexpectedEof
+        )
+    };
+    loop {
+        let attempt = connect_faulty(endpoint, fault)
+            .and_then(|stream| enroll_with(stream, claim, fingerprint, &secret, 0, fault));
+        match attempt {
+            Ok(enrolled) => return Ok(enrolled),
+            Err(e) if transient(e.kind()) => match backoff.next_delay(start.elapsed()) {
+                Some(delay) => thread::sleep(delay),
+                None => return Err(e),
+            },
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1375,37 +1849,245 @@ mod tests {
 
     #[test]
     fn hello_welcome_roundtrip() {
-        let mut wire: Vec<u8> = Vec::new();
-        {
-            let mut w = FramedWriter::new(&mut wire);
-            write_hello(&mut w, &Hello { claimed: Some(WorkerId(3)), fingerprint: b"fp".to_vec() })
-                .unwrap();
-            write_hello(&mut w, &Hello { claimed: None, fingerprint: vec![] }).unwrap();
-            write_welcome(
-                &mut w,
-                &Welcome { worker: WorkerId(2), c: 4.0, w: 1.5, m: 60, time_scale: 0.25, service: SERVICE_LU },
-            )
-            .unwrap();
-        }
-        let mut r = FramedReader::new(SplitReader { data: wire, pos: 0, chunk: 1 });
-        let h1 = read_hello(&mut r).unwrap();
-        assert_eq!(h1, Hello { claimed: Some(WorkerId(3)), fingerprint: b"fp".to_vec() });
-        let h2 = read_hello(&mut r).unwrap();
-        assert_eq!(h2.claimed, None);
-        let w = read_welcome(&mut r).unwrap();
-        assert_eq!(w.worker, WorkerId(2));
-        assert_eq!((w.c, w.w, w.m, w.time_scale, w.service), (4.0, 1.5, 60, 0.25, SERVICE_LU));
+        let secret = b"roundtrip-secret";
+        let challenge = auth::fresh_nonce();
+        let h1 = Hello {
+            claimed: Some(WorkerId(3)),
+            epoch: 7,
+            nonce: auth::fresh_nonce(),
+            fingerprint: b"fp".to_vec(),
+        };
+        let f1 = hello_frame(&h1, secret, &challenge);
+        let parsed = parse_hello(&f1).unwrap();
+        assert_eq!(parsed, h1);
+        assert!(hello_authentic(&f1, &parsed, secret, &challenge));
+        let h2 = Hello { claimed: None, epoch: 0, nonce: auth::fresh_nonce(), fingerprint: vec![] };
+        let f2 = hello_frame(&h2, secret, &challenge);
+        let parsed2 = parse_hello(&f2).unwrap();
+        assert_eq!(parsed2.claimed, None);
+        assert!(hello_authentic(&f2, &parsed2, secret, &challenge));
+        let welcome = Welcome {
+            worker: WorkerId(2),
+            c: 4.0,
+            w: 1.5,
+            m: 60,
+            time_scale: 0.25,
+            service: SERVICE_LU,
+            epoch: 7,
+        };
+        let wf = welcome_frame(&welcome, secret, &h1.nonce);
+        let back = parse_welcome(&wf, secret, &h1.nonce).unwrap();
+        assert_eq!(back, welcome);
     }
 
     #[test]
     fn handshake_rejects_wrong_frame() {
-        let mut wire: Vec<u8> = Vec::new();
-        {
-            let mut w = FramedWriter::new(&mut wire);
-            w.send_frame(&Frame::shutdown()).unwrap();
+        assert!(parse_hello(&Frame::shutdown()).is_err());
+        assert!(parse_challenge(&Frame::shutdown()).is_err());
+    }
+
+    #[test]
+    fn challenge_roundtrip_and_version_gate() {
+        let nonce = auth::fresh_nonce();
+        assert_eq!(parse_challenge(&challenge_frame(&nonce)).unwrap(), nonce);
+        // A master speaking any other protocol version is refused with
+        // Unsupported — a clean degrade, not a decode panic.
+        let mut alien = challenge_frame(&nonce);
+        alien.tag.j = PROTOCOL_VERSION + 1;
+        assert_eq!(parse_challenge(&alien).unwrap_err().kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn hello_from_another_protocol_version_is_unsupported_not_corrupt() {
+        let secret = b"s";
+        let challenge = auth::fresh_nonce();
+        let hello =
+            Hello { claimed: None, epoch: 0, nonce: auth::fresh_nonce(), fingerprint: vec![] };
+        // Version field rewritten: parse must classify it as a foreign
+        // protocol revision.
+        let good = hello_frame(&hello, secret, &challenge);
+        let mut payload = good.payload.to_vec();
+        payload[0..4].copy_from_slice(&1u32.to_le_bytes());
+        let v1 = Frame::new(good.tag, Bytes::from(payload));
+        assert_eq!(parse_hello(&v1).unwrap_err().kind(), io::ErrorKind::Unsupported);
+        // A pre-versioning hello (short payload — the v1 wire format was
+        // just fingerprint bytes) classifies the same way.
+        let legacy = Frame::new(
+            Tag { kind: FrameKind::Control, i: HELLO, j: CLAIM_ANY },
+            Bytes::from(b"fp".to_vec()),
+        );
+        assert_eq!(parse_hello(&legacy).unwrap_err().kind(), io::ErrorKind::Unsupported);
+    }
+
+    #[test]
+    fn wrong_secret_fails_both_mac_directions() {
+        let challenge = auth::fresh_nonce();
+        let hello = Hello {
+            claimed: Some(WorkerId(0)),
+            epoch: 0,
+            nonce: auth::fresh_nonce(),
+            fingerprint: b"x".to_vec(),
+        };
+        let f = hello_frame(&hello, b"worker-secret", &challenge);
+        let parsed = parse_hello(&f).unwrap();
+        assert!(!hello_authentic(&f, &parsed, b"master-secret", &challenge));
+        // And a tampered field breaks the MAC even under the right secret.
+        let mut tampered = f.payload.to_vec();
+        *tampered.last_mut().unwrap() ^= 1; // flip a fingerprint bit
+        let tf = Frame::new(f.tag, Bytes::from(tampered));
+        let tp = parse_hello(&tf).unwrap();
+        assert!(!hello_authentic(&tf, &tp, b"worker-secret", &challenge));
+        let welcome = Welcome {
+            worker: WorkerId(0),
+            c: 1.0,
+            w: 1.0,
+            m: 10,
+            time_scale: 0.0,
+            service: SERVICE_MATRIX,
+            epoch: 1,
+        };
+        let wf = welcome_frame(&welcome, b"master-secret", &hello.nonce);
+        let err = parse_welcome(&wf, b"worker-secret", &hello.nonce).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        // Replaying a welcome MAC'd for another enrollment's nonce fails.
+        let other_nonce = auth::fresh_nonce();
+        let err = parse_welcome(&wf, b"master-secret", &other_nonce).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+    }
+
+    #[test]
+    fn reject_frames_map_to_the_right_error_kinds() {
+        for (code, kind) in [
+            (REJECT_VERSION, io::ErrorKind::Unsupported),
+            (REJECT_AUTH, io::ErrorKind::PermissionDenied),
+            (REJECT_EPOCH, io::ErrorKind::PermissionDenied),
+            (REJECT_SLOT, io::ErrorKind::InvalidData),
+            (REJECT_FINGERPRINT, io::ErrorKind::InvalidData),
+        ] {
+            let f = reject_frame(code, "nope");
+            assert!(is_reject(&f));
+            let e = reject_error(&f);
+            assert_eq!(e.kind(), kind, "code {code}");
+            assert!(e.to_string().contains("nope"));
         }
-        let mut r = FramedReader::new(SplitReader { data: wire, pos: 0, chunk: usize::MAX });
-        assert!(read_hello(&mut r).is_err());
+    }
+
+    /// The full master/worker handshake over a real socket, plus every
+    /// rejection path — and the master keeps accepting after each one.
+    #[test]
+    fn enrollment_round_rejects_impostors_and_admits_the_fleet() {
+        let secret = b"fleet-secret";
+        let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+        let endpoint = listener.endpoint();
+        let master = thread::spawn(move || {
+            let mut outcomes = Vec::new();
+            // Serve four dialers; only the last is legitimate.
+            for _ in 0..4 {
+                let mut conn = listener.accept().unwrap();
+                let outcome = master_challenge(conn.as_mut())
+                    .and_then(|ch| master_read_hello(conn.as_mut(), secret, &ch, 5))
+                    .map(|hello| {
+                        let welcome = Welcome {
+                            worker: WorkerId(0),
+                            c: 2.0,
+                            w: 1.0,
+                            m: 40,
+                            time_scale: 0.0,
+                            service: SERVICE_MATRIX,
+                            epoch: 5,
+                        };
+                        conn.send_frame(&welcome_frame(&welcome, secret, &hello.nonce)).unwrap();
+                    });
+                outcomes.push(outcome.map_err(|e| e.kind()));
+            }
+            outcomes
+        });
+        let dial = || connect_with_retry(&endpoint, Duration::from_secs(5)).unwrap();
+        // 1: wrong secret.
+        let err = enroll_with(dial(), None, b"", b"not-the-secret", 0, None)
+            .err()
+            .expect("wrong secret must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        // 2: stale epoch.
+        let err =
+            enroll_with(dial(), None, b"", secret, 4, None).err().expect("stale epoch rejected");
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        assert!(err.to_string().contains("stale"), "got: {err}");
+        // 3: does not even speak the protocol (badhello fault).
+        let fault = Some(FaultSpec { action: FaultAction::BadHello, after: 0 });
+        let err =
+            enroll_with(dial(), None, b"", secret, 0, fault).err().expect("bad hello rejected");
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        // 4: the real fleet member — current epoch, right secret.
+        let (ep, welcome) = enroll_with(dial(), None, b"fp", secret, 5, None).unwrap();
+        assert_eq!(welcome.epoch, 5);
+        assert_eq!(welcome.worker, WorkerId(0));
+        drop(ep);
+        let outcomes = master.join().unwrap();
+        assert_eq!(outcomes[0], Err(io::ErrorKind::PermissionDenied));
+        assert_eq!(outcomes[1], Err(io::ErrorKind::PermissionDenied));
+        assert_eq!(outcomes[2], Err(io::ErrorKind::Unsupported));
+        assert!(outcomes[3].is_ok(), "the legitimate worker enrolls after three rejections");
+    }
+
+    /// A version rejection must fail fast — not burn the whole dial
+    /// deadline in backoff like a refused connection does.
+    #[test]
+    fn enroll_with_retry_fails_fast_on_rejection() {
+        let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+        let endpoint = listener.endpoint();
+        let master = thread::spawn(move || {
+            // A master from a different protocol era: its challenge
+            // carries a version this build does not speak.
+            let mut conn = listener.accept().unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut alien = challenge_frame(&auth::fresh_nonce());
+            alien.tag.j = PROTOCOL_VERSION + 1;
+            conn.send_frame(&alien).unwrap();
+            // Hold the connection open until the worker walks away.
+            let _ = conn.recv_frame_capped(MAX_HANDSHAKE_WIRE_LEN);
+        });
+        let t0 = std::time::Instant::now();
+        let err = enroll_with_retry(&endpoint, Duration::from_secs(30), None, b"")
+            .err()
+            .expect("version mismatch must be an error");
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "a permanent rejection must not be retried until the 30s deadline"
+        );
+        master.join().unwrap();
+    }
+
+    #[test]
+    fn bind_spec_parser_is_strict() {
+        assert_eq!(parse_bind_spec(""), Ok(None));
+        assert_eq!(parse_bind_spec("  "), Ok(None));
+        assert_eq!(
+            parse_bind_spec("tcp://0.0.0.0:4455"),
+            Ok(Some("tcp://0.0.0.0:4455".to_string()))
+        );
+        assert_eq!(parse_bind_spec("uds:/tmp/mwp.sock"), Ok(Some("uds:/tmp/mwp.sock".to_string())));
+        for bad in ["0.0.0.0:4455", "tcp://", "uds:", "http://x", "loopback"] {
+            let err = parse_bind_spec(bad).unwrap_err();
+            assert!(err.contains("tcp://"), "'{bad}' error must name the valid forms: {err}");
+        }
+    }
+
+    #[test]
+    fn bind_env_honors_address_and_rejects_scheme_mismatch() {
+        // Env staging is safe here: MWP_BIND is read only by this call.
+        std::env::set_var("MWP_BIND", "tcp://127.0.0.1:0");
+        let listener = TransportListener::bind_env(TransportMode::Tcp).unwrap();
+        assert!(listener.endpoint().starts_with("tcp://127.0.0.1:"));
+        let err = TransportListener::bind_env(TransportMode::Uds)
+            .err()
+            .expect("tcp bind spec under uds transport must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "tcp bind under uds transport");
+        std::env::remove_var("MWP_BIND");
+        // Unset: plain loopback default.
+        let listener = TransportListener::bind_env(TransportMode::Tcp).unwrap();
+        assert!(listener.endpoint().starts_with("tcp://127.0.0.1:"));
     }
 
     #[test]

@@ -23,9 +23,18 @@
 //! and exits 0 once the listener stays unreachable for the `--wait-ms`
 //! window (the master is gone for good).
 //!
+//! Enrollment is authenticated: the worker answers the master's
+//! challenge with an HMAC over the shared fleet secret
+//! (`MWP_FLEET_SECRET` — must match the master's). An authentication,
+//! protocol-version, or membership-epoch rejection fails fast with a
+//! non-zero exit instead of retrying against a door that will never
+//! open.
+//!
 //! Setting `MWP_FAULT` (e.g. `kill:40`, `drop:25`, `delay:10:500`,
 //! `truncate:12`) wraps the socket in the deterministic fault-injection
 //! layer — how the chaos tests make *this* worker the one that dies.
+//! The handshake-stage faults `badhello` / `badauth` corrupt the
+//! enrollment itself, exercising the master's rejection path.
 
 use mwp_msg::transport::{self, SERVICE_LU, SERVICE_MATRIX};
 use std::process::ExitCode;
@@ -81,21 +90,26 @@ fn parse_args() -> Args {
 /// the master is simply gone).
 fn serve_one_session(args: &Args, fingerprint: &str) -> Result<(), String> {
     let fault = transport::fault_spec_from_env();
-    let stream = transport::connect_with_retry_faulty(
+    // One retry loop covers dial + handshake: transient failures (the
+    // listener not up yet, churn mid-accept) back off and retry, while
+    // an authentication/version/epoch rejection fails fast — it will
+    // not change on retry.
+    let (ep, welcome) = transport::enroll_with_retry_faulty(
         &args.endpoint,
         Duration::from_millis(args.wait_ms),
+        None,
+        fingerprint.as_bytes(),
         fault,
     )
-    .map_err(|e| format!("cannot reach {}: {e}", args.endpoint))?;
-    let (ep, welcome) = transport::enroll(stream, None, fingerprint.as_bytes())
-        .map_err(|e| format!("enrollment at {} failed: {e}", args.endpoint))?;
+    .map_err(|e| format!("enrollment at {} failed: {e}", args.endpoint))?;
     eprintln!(
-        "mwp-worker: enrolled as worker {} (c = {}, w = {}, m = {}, service = {})",
+        "mwp-worker: enrolled as worker {} (c = {}, w = {}, m = {}, service = {}, epoch = {})",
         welcome.worker.index(),
         welcome.c,
         welcome.w,
         welcome.m,
         welcome.service,
+        welcome.epoch,
     );
     match welcome.service {
         SERVICE_MATRIX => mwp_core::remote::serve(ep, welcome.m as usize),

@@ -223,7 +223,7 @@ fn holm_survives_a_real_sigkill_then_readmits_a_replacement() {
     children.push(spawn_worker(&endpoint, ""));
     remote.admit(&listener, WorkerParams { c: 4.0, w: 1.0, m: 20 }).unwrap();
     assert_eq!(remote.workers(), 3);
-    assert_eq!(remote.platform().len(), 3);
+    assert_eq!(remote.platform().expect("regrown fleet is non-empty").len(), 3);
 
     compare(&remote, 2, "regrown fleet");
     assert_eq!(remote.dead_workers(), 0);
