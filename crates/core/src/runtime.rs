@@ -30,7 +30,8 @@ use crate::session::{with_session, RuntimeSession};
 use bytes::Bytes;
 use mwp_blockmat::kernel::PackedB;
 use mwp_blockmat::{Block, BlockMatrix, SharedPayloads};
-use mwp_msg::session::{RunExit, RUN_BEGIN, RUN_END};
+use mwp_msg::session::{RunExit, RUN_ABORT, RUN_BEGIN, RUN_END};
+use mwp_msg::transport::run_deadline;
 use mwp_msg::{Frame, FrameKind, Tag, WorkerEndpoint};
 use mwp_platform::{Platform, WorkerId};
 use std::collections::hash_map::Entry;
@@ -93,6 +94,11 @@ pub enum RuntimeError {
     /// The session's fleet has no workers (every member was pruned);
     /// admit a worker before running.
     EmptyFleet,
+    /// The whole-run deadline (`MWP_RUN_DEADLINE_MS`) elapsed before the
+    /// run finished.  The master broadcast `RUN_ABORT`, the workers
+    /// re-parked with their scratch intact, and the session is still
+    /// serving — the next run on it starts from a clean generation.
+    RunAborted,
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -107,6 +113,9 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::ShapeMismatch => write!(f, "matrix shapes do not conform"),
             RuntimeError::EmptyFleet => {
                 write!(f, "no workers enrolled: the fleet is empty")
+            }
+            RuntimeError::RunAborted => {
+                write!(f, "run aborted: the whole-run deadline (MWP_RUN_DEADLINE_MS) elapsed")
             }
         }
     }
@@ -249,7 +258,17 @@ pub(crate) fn holm_on(
     // payload caches are immutable, so a lost chunk's frames regenerate
     // bit-identically for whichever survivor picks it up.
     let mut queue: std::collections::VecDeque<Chunk> = tiles.into();
+    let deadline = run_deadline();
     while !queue.is_empty() {
+        // Whole-run budget: checked once per chunk round, the coarsest
+        // unit after which the master's C is still consistent (a round
+        // only commits fully collected chunks).
+        if let Some(budget) = deadline {
+            if start.elapsed() > budget {
+                session.abort_run(enrolled, epoch);
+                return Err(RuntimeError::RunAborted);
+            }
+        }
         let live: Vec<WorkerId> =
             (0..enrolled).map(WorkerId).filter(|&w| !master.is_dead(w)).collect();
         assert!(
@@ -450,7 +469,23 @@ pub(crate) fn heterogeneous_on(
     // complete collected chunk, so a lost chunk replays exactly).
     let mut lost: Vec<Chunk> = Vec::new();
 
+    // Whole-run budget (`MWP_RUN_DEADLINE_MS`): checked at every point
+    // where the master is about to dispatch more work.  `c` stays
+    // consistent because only fully collected chunks mutate it.
+    let deadline = run_deadline();
+    macro_rules! check_deadline {
+        () => {
+            if let Some(budget) = deadline {
+                if start.elapsed() > budget {
+                    session.abort_run(enrolled, epoch);
+                    return Err(RuntimeError::RunAborted);
+                }
+            }
+        };
+    }
+
     for step in &trace.steps {
+        check_deadline!();
         let wid = step.worker;
         let wi = wid.index();
         if master.is_dead(wid) {
@@ -515,6 +550,7 @@ pub(crate) fn heterogeneous_on(
     // A worker dying here loses its chunk to the re-dispatch pool like
     // anywhere else.
     for (wi, slot) in active.iter_mut().enumerate() {
+        check_deadline!();
         let Some((ch, k0)) = slot.take() else { continue };
         let wid = mwp_platform::WorkerId(wi);
         let mut ok = !master.is_dead(wid);
@@ -572,6 +608,7 @@ pub(crate) fn heterogeneous_on(
     let capable: Vec<usize> = (0..platform.len()).filter(|&i| mu[i] > 0).collect();
     let mut turn = 0usize;
     loop {
+        check_deadline!();
         let live: Vec<usize> =
             capable.iter().copied().filter(|&i| !master.is_dead(WorkerId(i))).collect();
         assert!(
@@ -606,6 +643,7 @@ pub(crate) fn heterogeneous_on(
     // which any sub-rectangle preserves.
     turn = 0;
     while let Some(ch) = lost.pop() {
+        check_deadline!();
         let live: Vec<usize> =
             capable.iter().copied().filter(|&i| !master.is_dead(WorkerId(i))).collect();
         assert!(
@@ -937,6 +975,21 @@ pub(crate) fn serve_run(
             FrameKind::Control if frame.tag.i == RUN_END => {
                 // End of this run: park for the session's next one, scratch
                 // storage intact.
+                return RunExit::Completed;
+            }
+            FrameKind::Control if frame.tag.i == RUN_ABORT => {
+                // Cooperative abort: the master gave up on this run (its
+                // whole-run deadline elapsed). Discard the resident chunk —
+                // the master never mutates its C from a partial chunk, so
+                // nothing is lost — recycle the storage, and re-park for
+                // the session's next run.
+                for (_, row) in c_rows.drain() {
+                    spare.extend(row.into_iter().map(|(_, blk)| blk));
+                }
+                for (_, resident) in b_row.drain() {
+                    spare.push(resident.block);
+                    spare_packs.push(resident.pack);
+                }
                 return RunExit::Completed;
             }
             FrameKind::Control if frame.tag.i == RUN_BEGIN => {

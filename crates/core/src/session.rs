@@ -317,6 +317,18 @@ impl RuntimeSession {
     pub(crate) fn finish_run(&self, enrolled: usize, epoch: RunEpoch<'_>) -> u64 {
         self.inner.finish_run(enrolled, epoch)
     }
+
+    pub(crate) fn abort_run(&self, enrolled: usize, epoch: RunEpoch<'_>) -> u64 {
+        self.inner.abort_run(enrolled, epoch)
+    }
+
+    /// How many previous-generation data frames the master's links have
+    /// structurally rejected (see [`mwp_msg::stats::LinkSnapshot`]) —
+    /// observably non-zero when a stale frame from an earlier run (e.g. a
+    /// replay fault) reached a link after its run ended.
+    pub fn stale_rejections(&self) -> u64 {
+        self.inner.stale_rejections()
+    }
 }
 
 /// Process-wide session cache for the `MWP_RUNTIME=session` mode.

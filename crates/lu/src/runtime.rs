@@ -29,8 +29,8 @@
 use mwp_blockmat::kernel::PackedB;
 use mwp_blockmat::lu::{lu_factor_in_place, trsm_left_unit_lower, trsm_right_upper, Dense};
 use mwp_blockmat::BlockMatrix;
-use mwp_msg::session::{run_with_mode, serve_worker, RunExit, Session, SessionPool, RUN_END};
-use mwp_msg::transport::SERVICE_LU;
+use mwp_msg::session::{run_with_mode, serve_worker, RunExit, Session, SessionPool, RUN_ABORT, RUN_END};
+use mwp_msg::transport::{run_deadline, SERVICE_LU};
 use mwp_msg::{BufferPool, Frame, FrameKind, Tag, TransportListener, TransportMode, WorkerEndpoint};
 use mwp_platform::{Platform, WorkerId};
 use std::time::Instant;
@@ -58,6 +58,11 @@ pub struct LuRunOutcome {
     pub messages: u64,
     /// Workers enrolled.
     pub workers_used: usize,
+    /// `true` when the whole-run deadline (`MWP_RUN_DEADLINE_MS`) elapsed
+    /// and the master broadcast `RUN_ABORT` instead of finishing: `packed`
+    /// then holds a **partial** factorization and must be discarded. The
+    /// session itself stays serving — the next run starts clean.
+    pub aborted: bool,
 }
 
 /// A persistent worker pool serving threaded LU factorizations.
@@ -281,8 +286,25 @@ fn lu_on(session: &LuSession, matrix: &BlockMatrix, mu_blocks: usize) -> LuRunOu
     // Recycled encode buffers for every master-side task payload.
     let pool = BufferPool::new();
 
+    // Whole-run budget (`MWP_RUN_DEADLINE_MS`): checked once per panel
+    // step, the coarsest unit after which `a` is still a consistent
+    // partial factorization.
+    let deadline = run_deadline();
+
     let mut k0 = 0;
     while k0 < n {
+        if let Some(budget) = deadline {
+            if start.elapsed() > budget {
+                session.inner.abort_run(enrolled, epoch);
+                return LuRunOutcome {
+                    packed: a,
+                    wall: start.elapsed(),
+                    messages,
+                    workers_used: enrolled,
+                    aborted: true,
+                };
+            }
+        }
         let k1 = (k0 + nb).min(n);
         // --- 1. Pivot factorization on the pivot worker (the lowest
         //        live id; historically worker 0, and still worker 0
@@ -433,6 +455,7 @@ fn lu_on(session: &LuSession, matrix: &BlockMatrix, mu_blocks: usize) -> LuRunOu
         wall: start.elapsed(),
         messages,
         workers_used: enrolled,
+        aborted: false,
     }
 }
 
@@ -467,6 +490,11 @@ fn serve_lu_run(ep: &WorkerEndpoint, horiz_pack: &mut PackedB) -> RunExit {
         match frame.tag.kind {
             FrameKind::Shutdown => return RunExit::Terminate,
             FrameKind::Control if frame.tag.i == RUN_END => return RunExit::Completed,
+            // Cooperative abort: the master gave up on this run. The
+            // resident panel is per-run state and drops with this frame's
+            // scope; the pack buffer's capacity stays warm for the next
+            // run, exactly as on a normal RUN_END.
+            FrameKind::Control if frame.tag.i == RUN_ABORT => return RunExit::Completed,
             // Any other control frame here means the master aborted a run
             // without closing it and the session was reused (a fresh
             // RUN_BEGIN would otherwise be fed to decode_parts): fail

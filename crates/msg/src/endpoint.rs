@@ -1,6 +1,7 @@
 //! Master and worker endpoints: the user-facing API of the message layer.
 
 use crate::frame::{Frame, FrameKind};
+use crate::lifecycle::RUN_BEGIN;
 use crate::link::{MasterSide, WorkerSide};
 use crate::pool::BufferPool;
 use crate::port::OnePort;
@@ -8,6 +9,7 @@ use crate::stats::LinkSnapshot;
 use bytes::Bytes;
 use crossbeam::channel::RecvError;
 use mwp_platform::WorkerId;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// The master's communication handle.
 ///
@@ -152,6 +154,24 @@ impl MasterEndpoint {
         self.links.remove(idx)
     }
 
+    /// Publish the current run generation to every link: each outbound
+    /// frame is stamped with it, and inbound data frames carrying any
+    /// other generation are rejected at the link. Called by the session
+    /// layer at run begin (fresh generation) and at run end/abort (0).
+    pub(crate) fn set_run(&self, run: u32) {
+        for link in &self.links {
+            link.set_current_run(run);
+        }
+    }
+
+    /// Total inbound data frames rejected by the run-generation check,
+    /// summed over all links.
+    pub fn stale_rejections(&self) -> u64 {
+        (0..self.links.len())
+            .map(|i| self.link_stats(WorkerId(i)).stale_rejected)
+            .sum()
+    }
+
     /// Per-link statistics snapshot.
     pub fn link_stats(&self, w: WorkerId) -> LinkSnapshot {
         self.links[w.index()].stats().snapshot()
@@ -196,6 +216,12 @@ pub struct WorkerEndpoint {
     id: WorkerId,
     route: Route,
     pool: BufferPool,
+    /// The run generation this worker is currently serving, learned from
+    /// the `RUN_BEGIN` frame's `run` field as it passes through `recv`.
+    /// Every outbound frame is stamped with it, so the master's links can
+    /// structurally reject anything this worker sends that belongs to an
+    /// earlier run.
+    current_run: AtomicU32,
     /// Dropping this (with the endpoint) stops the heartbeat thread on
     /// its next wakeup — the thread's timed receive observes the
     /// disconnect immediately, so no join is needed.
@@ -204,7 +230,13 @@ pub struct WorkerEndpoint {
 
 impl WorkerEndpoint {
     pub(crate) fn new(id: WorkerId, link: WorkerSide) -> Self {
-        WorkerEndpoint { id, route: Route::Channel(link), pool: BufferPool::new(), _hb_stop: None }
+        WorkerEndpoint {
+            id,
+            route: Route::Channel(link),
+            pool: BufferPool::new(),
+            current_run: AtomicU32::new(0),
+            _hb_stop: None,
+        }
     }
 
     /// A remote worker's endpoint: frames travel over the framed stream
@@ -246,6 +278,7 @@ impl WorkerEndpoint {
             id,
             route: Route::Remote { reader: parking_lot::Mutex::new(reader), writer },
             pool: BufferPool::new(),
+            current_run: AtomicU32::new(0),
             _hb_stop: hb_stop,
         }
     }
@@ -262,26 +295,34 @@ impl WorkerEndpoint {
     /// swallowed here: no worker program ever sees a liveness probe, and
     /// each one resets the socket's read deadline simply by arriving.
     pub fn recv(&self) -> Result<Frame, RecvError> {
-        match &self.route {
-            Route::Channel(link) => link.recv(),
+        let frame = match &self.route {
+            Route::Channel(link) => link.recv()?,
             Route::Remote { reader, .. } => {
                 let mut reader = reader.lock();
                 loop {
                     match reader.recv_frame() {
                         Ok(Some(frame)) if frame.tag.kind == FrameKind::Heartbeat => continue,
-                        Ok(Some(frame)) => return Ok(frame),
+                        Ok(Some(frame)) => break frame,
                         Ok(None) | Err(_) => return Err(RecvError),
                     }
                 }
             }
+        };
+        // A RUN_BEGIN carries the generation it opens: adopt it, so every
+        // result frame this worker sends back is stamped with the run it
+        // actually belongs to.
+        if frame.tag.kind == FrameKind::Control && frame.tag.i == RUN_BEGIN {
+            self.current_run.store(frame.run, Ordering::Release);
         }
+        Ok(frame)
     }
 
     /// Return a result frame to the master. Never blocks for bandwidth —
     /// the master pays the transfer cost when it pulls the frame. Like
     /// the channel route's send-to-a-dropped-master, a socket write
     /// failure is swallowed: the next `recv` will report the dead master.
-    pub fn send(&self, frame: Frame) {
+    pub fn send(&self, mut frame: Frame) {
+        frame.run = self.current_run.load(Ordering::Acquire);
         match &self.route {
             Route::Channel(link) => link.send(frame),
             Route::Remote { writer, .. } => {
@@ -417,6 +458,31 @@ mod tests {
             "woke only near the timeout: the wait is not event-driven"
         );
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn worker_adopts_generation_from_run_begin_and_stamps_replies() {
+        let (master, workers) = star(1);
+        let w = workers.into_iter().next().unwrap();
+
+        master.set_run(4);
+        master.send(WorkerId(0), crate::lifecycle::run_begin_frame(6), 0);
+        let begin = w.recv().unwrap();
+        assert_eq!(begin.run, 4, "RUN_BEGIN must carry the generation it opens");
+
+        // The worker's reply is stamped with the adopted generation and
+        // admitted by the master's link.
+        w.send(Frame::new(Tag::new(FrameKind::CResult, 0, 0), Bytes::from_static(b"r")));
+        let (f, _) = master.recv(WorkerId(0), 1).unwrap();
+        assert_eq!(f.run, 4);
+
+        // After the run ends (generation reset to 0), a late reply still
+        // stamped with the old generation is structurally rejected.
+        master.set_run(0);
+        w.send(Frame::new(Tag::new(FrameKind::CResult, 1, 1), Bytes::from_static(b"r")));
+        let late = master.recv_timeout(WorkerId(0), 1, std::time::Duration::from_millis(30));
+        assert!(late.is_none(), "stale-generation frame must not surface");
+        assert_eq!(master.stale_rejections(), 1);
     }
 
     #[test]

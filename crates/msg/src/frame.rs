@@ -117,25 +117,42 @@ impl Tag {
     }
 }
 
-/// A routed message: tag + payload.
+/// A routed message: tag + payload + the run generation it belongs to.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     /// Address/type of the message.
     pub tag: Tag,
+    /// The **run generation** this frame belongs to: a per-session
+    /// monotonically increasing counter stamped on every frame of a run
+    /// (`RUN_BEGIN` announces it, every data frame repeats it). `0` means
+    /// "outside any run" — handshake, heartbeat, and teardown traffic.
+    /// Receivers structurally reject data frames whose generation is not
+    /// their current run, so a late frame from an aborted or superseded
+    /// run can never corrupt a later one — independent of the sticky
+    /// per-link death flag, and the field the frame format needs for
+    /// interleaved multi-run links later.
+    pub run: u32,
     /// Opaque payload (block coefficients, little-endian f64s).
     pub payload: Bytes,
 }
 
 impl Frame {
-    /// Build a frame.
+    /// Build a frame (generation 0 — the session layer stamps the
+    /// current run onto frames as they cross a link).
     pub fn new(tag: Tag, payload: Bytes) -> Self {
-        Frame { tag, payload }
+        Frame { tag, run: 0, payload }
+    }
+
+    /// Build a frame already stamped with a run generation.
+    pub fn new_in_run(tag: Tag, run: u32, payload: Bytes) -> Self {
+        Frame { tag, run, payload }
     }
 
     /// A shutdown frame.
     pub fn shutdown() -> Self {
         Frame {
             tag: Tag::new(FrameKind::Shutdown, 0, 0),
+            run: 0,
             payload: Bytes::new(),
         }
     }
@@ -144,13 +161,14 @@ impl Frame {
     pub fn heartbeat() -> Self {
         Frame {
             tag: Tag::new(FrameKind::Heartbeat, 0, 0),
+            run: 0,
             payload: Bytes::new(),
         }
     }
 
-    /// Total wire size: 9-byte header (kind + 2 × u32) + payload.
+    /// Total wire size: 13-byte header (kind + 3 × u32) + payload.
     pub fn wire_len(&self) -> usize {
-        9 + self.payload.len()
+        13 + self.payload.len()
     }
 
     /// Serialize to a contiguous buffer (header + payload). The channel
@@ -164,14 +182,19 @@ impl Frame {
         out
     }
 
-    /// The 9-byte wire header alone (kind + `i` + `j`, little-endian) —
-    /// lets the socket transport write header and payload as two slices
-    /// without assembling a contiguous copy of the payload.
-    pub fn encode_header(&self) -> [u8; 9] {
-        let mut header = [0u8; 9];
+    /// The 13-byte wire header alone (kind + `i` + `j` + `run`,
+    /// little-endian) — lets the socket transport write header and
+    /// payload as two slices without assembling a contiguous copy of the
+    /// payload. The `run` generation is **appended** after `j`, so the
+    /// kind/`i`/`j` offsets are identical to the pre-generation header:
+    /// a cross-version peer still reads the handshake's version fields
+    /// correctly and degrades to a clean version rejection.
+    pub fn encode_header(&self) -> [u8; 13] {
+        let mut header = [0u8; 13];
         header[0] = self.tag.kind.wire_id();
         header[1..5].copy_from_slice(&self.tag.i.to_le_bytes());
         header[5..9].copy_from_slice(&self.tag.j.to_le_bytes());
+        header[9..13].copy_from_slice(&self.run.to_le_bytes());
         header
     }
 
@@ -180,15 +203,15 @@ impl Frame {
     /// Copies the payload out of the borrowed buffer; prefer
     /// [`Frame::decode_bytes`] when the buffer is already a [`Bytes`].
     pub fn decode(buf: &[u8]) -> Option<Frame> {
-        let (tag, _) = Self::decode_header(buf)?;
-        Some(Frame { tag, payload: Bytes::copy_from_slice(&buf[9..]) })
+        let (tag, run, _) = Self::decode_header(buf)?;
+        Some(Frame { tag, run, payload: Bytes::copy_from_slice(&buf[13..]) })
     }
 
     /// Decode a shared buffer **zero-copy**: the returned frame's payload
     /// is a refcounted slice of `buf`, not a copy.
     pub fn decode_bytes(buf: Bytes) -> Option<Frame> {
-        let (tag, _) = Self::decode_header(&buf)?;
-        Some(Frame { tag, payload: buf.slice(9..) })
+        let (tag, run, _) = Self::decode_header(&buf)?;
+        Some(Frame { tag, run, payload: buf.slice(13..) })
     }
 
     /// Decode and validate: when the frame kind fixes its payload quantum
@@ -199,7 +222,7 @@ impl Frame {
     /// validated **before** the payload is copied out of `buf`, so a
     /// malformed buffer costs no allocation.
     pub fn decode_checked(buf: &[u8], q: usize) -> Option<Frame> {
-        let (tag, payload_len) = Self::decode_header(buf)?;
+        let (tag, run, payload_len) = Self::decode_header(buf)?;
         match tag.kind.expected_payload_len(q) {
             Some(0) if payload_len != 0 => return None,
             Some(quantum) if quantum != 0 && (payload_len == 0 || payload_len % quantum != 0) => {
@@ -207,7 +230,7 @@ impl Frame {
             }
             _ => {}
         }
-        Some(Frame { tag, payload: Bytes::copy_from_slice(&buf[9..]) })
+        Some(Frame { tag, run, payload: Bytes::copy_from_slice(&buf[13..]) })
     }
 
     /// The payload quantum this frame must respect for block side `q`
@@ -216,14 +239,15 @@ impl Frame {
         self.tag.kind.expected_payload_len(q)
     }
 
-    fn decode_header(buf: &[u8]) -> Option<(Tag, usize)> {
-        if buf.len() < 9 {
+    fn decode_header(buf: &[u8]) -> Option<(Tag, u32, usize)> {
+        if buf.len() < 13 {
             return None;
         }
         let kind = FrameKind::from_wire_id(buf[0])?;
         let i = u32::from_le_bytes(buf[1..5].try_into().ok()?);
         let j = u32::from_le_bytes(buf[5..9].try_into().ok()?);
-        Some((Tag { kind, i, j }, buf.len() - 9))
+        let run = u32::from_le_bytes(buf[9..13].try_into().ok()?);
+        Some((Tag { kind, i, j }, run, buf.len() - 13))
     }
 }
 
@@ -241,6 +265,26 @@ mod tests {
         assert_eq!(wire.len(), f.wire_len());
         let back = Frame::decode(&wire).unwrap();
         assert_eq!(back, f);
+    }
+
+    #[test]
+    fn run_generation_rides_the_wire() {
+        // The generation survives every decode path, and two frames that
+        // differ only in generation are different frames: a replayed
+        // previous-run frame can never pass for a current-run one.
+        let f = Frame::new_in_run(Tag::new(FrameKind::CResult, 2, 4), 7, Bytes::from(vec![3u8; 32]));
+        let wire = f.encode();
+        assert_eq!(Frame::decode(&wire).unwrap().run, 7);
+        assert_eq!(Frame::decode_bytes(Bytes::from(wire.clone())).unwrap().run, 7);
+        assert_eq!(Frame::decode_checked(&wire, 2).unwrap().run, 7);
+        let other = Frame::new_in_run(f.tag, 8, f.payload.clone());
+        assert_ne!(f, other, "frames differing only in run generation are distinct");
+        // Garbage in the generation bytes still decodes structurally —
+        // the generation is an identity field, not a structure field; the
+        // receive path rejects the mismatch, counted in LinkStats.
+        let mut stale = wire;
+        stale[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Frame::decode(&stale).unwrap().run, u32::MAX);
     }
 
     #[test]
@@ -277,14 +321,14 @@ mod tests {
         // mis-sliced payload.
         assert!(Frame::decode_bytes(Bytes::new()).is_none());
         let full = Frame::new(Tag::new(FrameKind::BlockB, 1, 2), Bytes::from(vec![5u8; 16])).encode();
-        for cut in 0..9 {
+        for cut in 0..13 {
             assert!(
                 Frame::decode_bytes(Bytes::from(full[..cut].to_vec())).is_none(),
                 "header truncated to {cut} bytes must not decode"
             );
         }
         // Exactly the header, no payload: decodes with an empty payload.
-        let header_only = Frame::decode_bytes(Bytes::from(full[..9].to_vec())).unwrap();
+        let header_only = Frame::decode_bytes(Bytes::from(full[..13].to_vec())).unwrap();
         assert!(header_only.payload.is_empty());
         // Every unknown kind byte is rejected.
         for bad_kind in [8u8, 100, 255] {
@@ -296,8 +340,8 @@ mod tests {
 
     #[test]
     fn encode_header_matches_encode_prefix() {
-        let f = Frame::new(Tag::new(FrameKind::LuPanel, 77, 99), Bytes::from(vec![1u8; 10]));
-        assert_eq!(&f.encode()[..9], &f.encode_header());
+        let f = Frame::new_in_run(Tag::new(FrameKind::LuPanel, 77, 99), 5, Bytes::from(vec![1u8; 10]));
+        assert_eq!(&f.encode()[..13], &f.encode_header());
     }
 
     #[test]
@@ -325,7 +369,7 @@ mod tests {
         let back = Frame::decode_bytes(wire.clone()).unwrap();
         assert_eq!(back, f);
         // The payload is a slice of the wire buffer, not a copy.
-        assert_eq!(back.payload.as_ptr(), unsafe { wire.as_ptr().add(9) });
+        assert_eq!(back.payload.as_ptr(), unsafe { wire.as_ptr().add(13) });
     }
 
     #[test]

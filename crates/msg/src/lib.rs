@@ -39,8 +39,10 @@
 //! port-limited, exactly as in the model (each worker has its own link).
 
 pub mod auth;
+pub mod checksum;
 pub mod endpoint;
 pub mod frame;
+pub mod lifecycle;
 pub mod link;
 pub mod net;
 pub mod pool;

@@ -9,7 +9,7 @@
 use crate::frame::Frame;
 use crate::stats::LinkStats;
 use crossbeam::channel::{unbounded, Receiver, RecvError, Sender};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -132,6 +132,7 @@ impl Link {
                 tx: self.to_worker_tx,
                 rx: self.to_master_rx,
                 dead: Arc::new(AtomicBool::new(false)),
+                current_run: Arc::new(AtomicU32::new(0)),
             },
             WorkerSide {
                 rx: self.to_worker_rx,
@@ -155,6 +156,14 @@ pub struct MasterSide {
     /// used again — a wedged worker that wakes up late must not be able
     /// to inject stale frames into a later exchange.
     dead: Arc<AtomicBool>,
+    /// The run generation this link is currently serving (0 = no run in
+    /// progress). Every outbound frame is stamped with it, and inbound
+    /// *data* frames carrying any other generation are structurally
+    /// rejected — counted in [`LinkStats`], never delivered, never
+    /// metered. This is the first-class defence the sticky-dead flag used
+    /// to approximate: even a frame from a link nobody marked dead cannot
+    /// cross a run boundary.
+    current_run: Arc<AtomicU32>,
 }
 
 impl MasterSide {
@@ -173,6 +182,26 @@ impl MasterSide {
     pub(crate) fn death_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.dead)
     }
+
+    /// Publish the run generation this link is serving. Called by the
+    /// session layer when a run begins (with the freshly bumped
+    /// generation) and when it ends or aborts (resetting to 0).
+    pub(crate) fn set_current_run(&self, run: u32) {
+        self.current_run.store(run, Ordering::Release);
+    }
+
+    /// Admission check for an inbound frame: data frames must carry the
+    /// link's current run generation; control traffic always passes.
+    /// A rejected frame is counted and dropped *before* any metering or
+    /// pacing, so the communication-volume counters stay exact.
+    fn admit(&self, frame: &Frame) -> bool {
+        if frame.tag.kind.is_block() && frame.run != self.current_run.load(Ordering::Acquire) {
+            self.stats.record_stale_rejected();
+            return false;
+        }
+        true
+    }
+
     /// Paced send; returns model-time cost.
     pub fn send(&self, frame: Frame, blocks: u64) -> f64 {
         self.send_inner(frame, blocks, false)
@@ -191,10 +220,11 @@ impl MasterSide {
     /// died. A link already known dead is paced and metered for nothing,
     /// and an undelivered frame is never metered — a declared-dead worker
     /// costs no model time.
-    pub fn try_send(&self, frame: Frame, blocks: u64) -> Option<f64> {
+    pub fn try_send(&self, mut frame: Frame, blocks: u64) -> Option<f64> {
         if self.is_dead() {
             return None;
         }
+        frame.run = self.current_run.load(Ordering::Acquire);
         let start = Instant::now();
         let cost = blocks as f64 * self.c;
         self.pacing.pace(cost);
@@ -209,7 +239,8 @@ impl MasterSide {
         Some(cost)
     }
 
-    fn send_inner(&self, frame: Frame, blocks: u64, lossy: bool) -> f64 {
+    fn send_inner(&self, mut frame: Frame, blocks: u64, lossy: bool) -> f64 {
+        frame.run = self.current_run.load(Ordering::Acquire);
         let start = Instant::now();
         let cost = blocks as f64 * self.c;
         self.pacing.pace(cost);
@@ -227,24 +258,42 @@ impl MasterSide {
 
     /// Non-blocking receive: pays the paced transfer only if a frame is
     /// already available. `None` when the channel is empty or closed.
+    /// Stale-generation data frames are dropped and the next frame tried.
     pub fn try_recv(&self, blocks: u64) -> Option<(Frame, f64)> {
-        let frame = self.rx.try_recv().ok()?;
-        Some(self.finish_recv(frame, blocks))
+        loop {
+            let frame = self.rx.try_recv().ok()?;
+            if self.admit(&frame) {
+                return Some(self.finish_recv(frame, blocks));
+            }
+        }
     }
 
-    /// Paced receive; blocks until the worker produced a frame.
+    /// Paced receive; blocks until the worker produced a frame of the
+    /// current run (stale-generation data frames are dropped en route).
     pub fn recv(&self, blocks: u64) -> Result<(Frame, f64), RecvError> {
-        let frame = self.rx.recv()?;
-        Ok(self.finish_recv(frame, blocks))
+        loop {
+            let frame = self.rx.recv()?;
+            if self.admit(&frame) {
+                return Ok(self.finish_recv(frame, blocks));
+            }
+        }
     }
 
     /// Phase 1 of a timed receive: park on the channel's own timed
     /// receive (condvar parking, no polling) **without** paying any
-    /// transfer cost, until a frame arrives or `timeout` elapses. The
-    /// caller then settles the transfer with [`MasterSide::finish_recv`]
-    /// — under the one-port guard, in the endpoint's case.
+    /// transfer cost, until an admissible frame arrives or `timeout`
+    /// elapses. The caller then settles the transfer with
+    /// [`MasterSide::finish_recv`] — under the one-port guard, in the
+    /// endpoint's case.
     pub fn recv_wait(&self, timeout: Duration) -> Option<Frame> {
-        self.rx.recv_timeout(timeout).ok()
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let frame = self.rx.recv_timeout(remaining).ok()?;
+            if self.admit(&frame) {
+                return Some(frame);
+            }
+        }
     }
 
     /// Phase 2 of a receive: meter and pace a frame already pulled off
@@ -336,6 +385,44 @@ mod tests {
         let elapsed = start.elapsed().as_secs_f64();
         assert!(elapsed >= 0.02, "pacing too short: {elapsed}");
         assert!(elapsed < 0.5, "pacing absurdly long: {elapsed}");
+    }
+
+    #[test]
+    fn outbound_frames_are_stamped_and_stale_data_frames_rejected() {
+        let (master, worker) = Link::new(1.0, Pacing::OFF).split();
+        master.set_current_run(3);
+
+        // Outbound stamping: the worker sees the generation the master set.
+        master.send(blk(FrameKind::BlockA, 1, 2), 1);
+        assert_eq!(worker.recv().unwrap().run, 3);
+
+        // A stale data frame (previous generation) queued ahead of a good
+        // one is dropped — counted, not delivered, not metered.
+        let mut stale = blk(FrameKind::CResult, 9, 9);
+        stale.run = 2;
+        worker.send(stale);
+        let mut good = blk(FrameKind::CResult, 1, 2);
+        good.run = 3;
+        worker.send(good);
+        let (got, _) = master.recv(1).unwrap();
+        assert_eq!(got.tag, Tag::new(FrameKind::CResult, 1, 2));
+        let snap = master.stats().snapshot();
+        assert_eq!(snap.stale_rejected, 1);
+        assert_eq!(snap.blocks_to_master, 1, "stale frame must not be metered");
+
+        // Control traffic passes regardless of generation.
+        let mut ctl = Frame::new(Tag { kind: FrameKind::Control, i: 7, j: 0 }, Bytes::new());
+        ctl.run = 55;
+        worker.send(ctl);
+        assert_eq!(master.recv(0).unwrap().0.tag.i, 7);
+
+        // recv_wait filters too, and still honors its timeout on an
+        // all-stale queue.
+        let mut late = blk(FrameKind::CResult, 4, 4);
+        late.run = 1;
+        worker.send(late);
+        assert!(master.recv_wait(Duration::from_millis(20)).is_none());
+        assert_eq!(master.stats().snapshot().stale_rejected, 2);
     }
 
     #[test]

@@ -31,37 +31,28 @@
 
 use crate::auth;
 use crate::endpoint::{MasterEndpoint, WorkerEndpoint};
-use crate::frame::{Frame, FrameKind, Tag};
+use crate::frame::{Frame, FrameKind};
 use crate::link::Pacing;
 use crate::net::StarNetwork;
 use crate::port::OnePort;
 use crate::transport::{
     self, RemoteLink, TransportListener, TransportMode, Welcome, SERVICE_INPROC,
 };
-use bytes::Bytes;
 use mwp_platform::{Platform, WorkerId, WorkerParams};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread;
 
-/// `Tag::i` sentinel of the control frame that opens a run. `Tag::j`
-/// carries the run parameter handed to the worker program.
-pub const RUN_BEGIN: u32 = u32::MAX - 1;
-/// `Tag::i` sentinel of the control frame that closes a run.
-pub const RUN_END: u32 = u32::MAX;
-
-/// The control frame that opens a run with parameter `param`.
-pub fn run_begin_frame(param: u32) -> Frame {
-    Frame::new(Tag { kind: FrameKind::Control, i: RUN_BEGIN, j: param }, Bytes::new())
-}
-
-/// The control frame that closes the current run.
-pub fn run_end_frame() -> Frame {
-    Frame::new(Tag { kind: FrameKind::Control, i: RUN_END, j: 0 }, Bytes::new())
-}
+// The run-lifecycle sentinels and frame constructors live in
+// [`crate::lifecycle`] — one documented module owns the `tag.i` magic
+// values. Re-exported here because the session layer is where callers
+// (the runtimes' worker programs) actually match on them.
+pub use crate::lifecycle::{
+    run_abort_frame, run_begin_frame, run_end_frame, RUN_ABORT, RUN_BEGIN, RUN_END,
+};
 
 /// How a worker program left a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +101,14 @@ pub struct Session {
     /// enrollment MACs for this session's whole lifetime, including
     /// later `admit`s.
     secret: Vec<u8>,
+    /// The **run generation**: a per-session monotonically increasing
+    /// counter, bumped by every [`Session::begin_run`]. The current value
+    /// is published to every link for the duration of a run (0 between
+    /// runs), stamped into each frame's wire header, and checked on
+    /// receive — a data frame from any other generation is structurally
+    /// rejected, whoever sent it. (Atomic only because `begin_run` takes
+    /// `&self`; the run lock already serializes runs.)
+    run_gen: AtomicU32,
     /// Held from `begin_run` to `finish_run` via the [`RunEpoch`].
     run_lock: Mutex<()>,
 }
@@ -169,6 +168,7 @@ impl Session {
                     pacing: Pacing { time_scale },
                     epoch: 1,
                     secret: auth::fleet_secret(),
+                    run_gen: AtomicU32::new(0),
                     run_lock: Mutex::new(()),
                 }
             }
@@ -234,6 +234,7 @@ impl Session {
             pacing: Pacing { time_scale },
             epoch: 1,
             secret,
+            run_gen: AtomicU32::new(0),
             run_lock: Mutex::new(()),
         }
     }
@@ -268,6 +269,7 @@ impl Session {
             pacing: Pacing { time_scale },
             epoch: 1,
             secret,
+            run_gen: AtomicU32::new(0),
             run_lock: Mutex::new(()),
         })
     }
@@ -428,6 +430,13 @@ impl Session {
         // One run at a time: a concurrent caller parks here until the
         // in-flight run's epoch is consumed by `finish_run`.
         let exclusive = self.run_lock.lock();
+        // Bump the run generation and publish it to every link *before*
+        // the RUN_BEGIN frames go out, so the begin frame itself is
+        // stamped with the generation it opens — that is how workers
+        // learn it. (At u32::MAX the counter would wrap to the reserved
+        // "no run" value 0; a session never lives that many runs.)
+        let run = self.run_gen.fetch_add(1, Ordering::Relaxed) + 1;
+        self.master.set_run(run);
         let blocks_at_start = self.master.total_blocks();
         for idx in 0..enrolled {
             self.master.send_lossy(WorkerId(idx), run_begin_frame(param));
@@ -443,7 +452,34 @@ impl Session {
         for idx in 0..enrolled {
             self.master.send_lossy(WorkerId(idx), run_end_frame());
         }
-        self.master.total_blocks() - epoch.blocks_at_start
+        let moved = self.master.total_blocks() - epoch.blocks_at_start;
+        // Back to "no run in progress": anything still in flight from
+        // this run arrives stale and is structurally rejected.
+        self.master.set_run(0);
+        moved
+    }
+
+    /// Abort the run opened by the matching [`Session::begin_run`]: each
+    /// enrolled worker gets a `RUN_ABORT` control frame — which, FIFO
+    /// order being per-link, is the last frame of the aborted run it
+    /// sees, so it drains whatever data frames were already queued, keeps
+    /// its scratch intact, and parks for the next run. Frames the workers
+    /// had already sent back are left un-received; they carry the aborted
+    /// generation, so the next run's receives structurally reject them.
+    /// Returns the blocks the aborted run moved before it was killed.
+    pub fn abort_run(&self, enrolled: usize, epoch: RunEpoch<'_>) -> u64 {
+        for idx in 0..enrolled {
+            self.master.send_lossy(WorkerId(idx), run_abort_frame());
+        }
+        let moved = self.master.total_blocks() - epoch.blocks_at_start;
+        self.master.set_run(0);
+        moved
+    }
+
+    /// Total inbound data frames this session's links rejected for
+    /// carrying a stale run generation (see [`crate::stats`]).
+    pub fn stale_rejections(&self) -> u64 {
+        self.master.stale_rejections()
     }
 
     /// Orderly shutdown: sends every worker a shutdown frame and joins its
@@ -660,6 +696,10 @@ where
                     return;
                 }
             }
+            // A stray lifecycle frame while parked is harmless: an abort
+            // (or end) broadcast can reach a worker whose program already
+            // left the run on its own. Stay parked.
+            FrameKind::Control if frame.tag.i == RUN_END || frame.tag.i == RUN_ABORT => {}
             other => unreachable!("{other:?} frame outside a run (tag {:?})", frame.tag),
         }
     }
@@ -902,6 +942,8 @@ pub fn run_with_mode<S, R>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::Tag;
+    use bytes::Bytes;
 
     /// An echo program: bounce every in-run frame back tagged with the
     /// run parameter, so tests can see which run served them.
@@ -913,7 +955,9 @@ mod tests {
             };
             match frame.tag.kind {
                 FrameKind::Shutdown => return RunExit::Terminate,
-                FrameKind::Control if frame.tag.i == RUN_END => return RunExit::Completed,
+                FrameKind::Control if frame.tag.i == RUN_END || frame.tag.i == RUN_ABORT => {
+                    return RunExit::Completed
+                }
                 _ => ep.send(Frame::new(
                     Tag::new(FrameKind::CResult, frame.tag.i as usize, param as usize),
                     frame.payload,
@@ -951,6 +995,39 @@ mod tests {
         }
         assert_eq!(session.master().total_blocks(), 20);
         assert_eq!(session.shutdown(), 2);
+    }
+
+    #[test]
+    fn aborted_run_leaves_the_session_serving_and_rejects_leftovers() {
+        let session = echo_session(1);
+
+        // Run 1: send a block but abort without receiving the echo — the
+        // reply is left in flight, stamped with generation 1.
+        let epoch = session.begin_run(1, 1);
+        session.master().send(
+            WorkerId(0),
+            Frame::new(Tag::new(FrameKind::BlockA, 0, 0), Bytes::from_static(b"x")),
+            1,
+        );
+        session.abort_run(1, epoch);
+
+        // Run 2 on the same session: the leftover generation-1 reply must
+        // never surface; the run's own traffic flows normally.
+        let epoch = session.begin_run(1, 2);
+        session.master().send(
+            WorkerId(0),
+            Frame::new(Tag::new(FrameKind::BlockA, 5, 0), Bytes::from_static(b"y")),
+            1,
+        );
+        let (frame, _) = session.master().recv(WorkerId(0), 1).unwrap();
+        assert_eq!(frame.tag.i, 5, "run 2 must see its own echo, not run 1's leftover");
+        assert_eq!(frame.tag.j, 2);
+        session.finish_run(1, epoch);
+        assert!(
+            session.stale_rejections() >= 1,
+            "the aborted run's in-flight reply must be rejected by generation"
+        );
+        assert_eq!(session.shutdown(), 1);
     }
 
     #[test]

@@ -20,6 +20,9 @@ struct Counters {
     blocks_to_master: AtomicU64,
     /// Nanoseconds the master port was held for this link's transfers.
     port_busy_nanos: AtomicU64,
+    /// Inbound data frames rejected because their run generation did not
+    /// match the receiver's current run (never delivered, never metered).
+    stale_rejected: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -39,6 +42,9 @@ pub struct LinkSnapshot {
     pub blocks_to_master: u64,
     /// Nanoseconds the master port was held by this link.
     pub port_busy_nanos: u64,
+    /// Data frames structurally rejected for carrying a stale run
+    /// generation.
+    pub stale_rejected: u64,
 }
 
 impl LinkSnapshot {
@@ -78,6 +84,14 @@ impl LinkStats {
         self.inner.port_busy_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
+    /// Record one inbound data frame dropped by the run-generation check.
+    /// Rejection happens *before* metering, so the block/byte counters —
+    /// which the communication-volume assertions compare against the
+    /// paper's formulas — never see the stale frame.
+    pub fn record_stale_rejected(&self) {
+        self.inner.stale_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the current values.
     pub fn snapshot(&self) -> LinkSnapshot {
         LinkSnapshot {
@@ -88,6 +102,7 @@ impl LinkStats {
             blocks_to_worker: self.inner.blocks_to_worker.load(Ordering::Relaxed),
             blocks_to_master: self.inner.blocks_to_master.load(Ordering::Relaxed),
             port_busy_nanos: self.inner.port_busy_nanos.load(Ordering::Relaxed),
+            stale_rejected: self.inner.stale_rejected.load(Ordering::Relaxed),
         }
     }
 }
@@ -104,6 +119,7 @@ mod tests {
         s.record_to_worker(9, 0); // control frame: not a block
         s.record_to_master(50, 1);
         s.record_port_busy(42);
+        s.record_stale_rejected();
         let snap = s.snapshot();
         assert_eq!(snap.frames_to_worker, 2);
         assert_eq!(snap.bytes_to_worker, 109);
@@ -112,6 +128,7 @@ mod tests {
         assert_eq!(snap.blocks_to_master, 1);
         assert_eq!(snap.total_blocks(), 2);
         assert_eq!(snap.port_busy_nanos, 42);
+        assert_eq!(snap.stale_rejected, 1);
     }
 
     #[test]

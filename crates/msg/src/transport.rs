@@ -11,11 +11,16 @@
 //!
 //! * **Framing** — [`write_frame_to`] / [`read_frame_from`]: a `u32`
 //!   little-endian length prefix followed by the [`Frame::encode`] image
-//!   (9-byte header + payload). Receives land in recycled
+//!   (13-byte header + payload) and — unless `MWP_CHECKSUM=off` — a
+//!   CRC32C trailer over the encoded image (see [`checksum_enabled`]),
+//!   verified on receive so a flipped bit anywhere in header or payload
+//!   surfaces as stream corruption instead of silently wrong
+//!   coefficients. Receives land in recycled
 //!   [`BufferPool`] buffers and are decoded zero-copy with
 //!   [`Frame::decode_bytes`]; adversarial input (truncated streams,
-//!   oversized or undersized length prefixes, unknown frame tags) is
-//!   rejected with an [`std::io::Error`], never a panic.
+//!   oversized or undersized length prefixes, unknown frame tags,
+//!   mismatched checksums) is rejected with an [`std::io::Error`],
+//!   never a panic.
 //! * **[`FrameRead`] / [`FrameWrite`] / [`FrameStream`]** — the framed
 //!   byte-stream abstraction. [`TcpTransport`] and [`UdsTransport`]
 //!   implement it; a stream splits into independently-owned read and
@@ -56,6 +61,7 @@
 //! `Session::accept_remote` + the `mwp-worker` binary.
 
 use crate::auth;
+use crate::checksum::{crc32c, Crc32c};
 use crate::endpoint::WorkerEndpoint;
 use crate::frame::{Frame, FrameKind, Tag};
 use crate::link::{Link, MasterSide, Pacing};
@@ -177,6 +183,50 @@ pub fn liveness() -> Option<(Duration, Duration)> {
     Some((Duration::from_millis(heartbeat), Duration::from_millis(deadline)))
 }
 
+/// The whole-run wall-clock budget (`MWP_RUN_DEADLINE_MS`): `Some` when
+/// the variable is set to a nonzero number of milliseconds, `None` when
+/// unset or `0` (no budget — runs may take as long as they take). When a
+/// run's master loop observes the budget exhausted it broadcasts
+/// [`crate::lifecycle::RUN_ABORT`] and returns an abort error instead of
+/// a result; the session itself stays serviceable. Re-read per call
+/// (like [`liveness`]) so tests can stage a deadline for one run and
+/// clear it for the next within a single process.
+pub fn run_deadline() -> Option<Duration> {
+    match std::env::var("MWP_RUN_DEADLINE_MS") {
+        Ok(v) => parse_millis(&v)
+            .unwrap_or_else(|e| panic!("MWP_RUN_DEADLINE_MS: {e}"))
+            .filter(|&ms| ms != 0)
+            .map(Duration::from_millis),
+        Err(_) => None,
+    }
+}
+
+/// Parse an `MWP_CHECKSUM` value: empty means "no override" (checksums
+/// **on**, the default), `on`/`off` are explicit. Strict like every
+/// other `MWP_*` switch — a typo'd value must never silently run
+/// without integrity checking.
+pub fn parse_checksum(value: &str) -> Result<bool, String> {
+    match value.trim() {
+        "" | "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("unknown checksum setting '{other}' (valid: on, off)")),
+    }
+}
+
+/// Whether socket frames carry (and verify) the CRC32C integrity
+/// trailer: `MWP_CHECKSUM=on|off`, default on. The flag changes the wire
+/// format — the length prefix covers a 4-byte trailer after the payload
+/// — so **master and worker processes must agree on it**: a mixed fleet
+/// would misread every frame. Each stream captures the flag once at
+/// construction; the environment is re-read per call so tests can stage
+/// both formats in one process.
+pub fn checksum_enabled() -> bool {
+    match std::env::var("MWP_CHECKSUM") {
+        Ok(v) => parse_checksum(&v).unwrap_or_else(|e| panic!("MWP_CHECKSUM: {e}")),
+        Err(_) => true,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------------
@@ -195,16 +245,23 @@ pub const MAX_WIRE_LEN: usize = 1 << 30;
 /// adversarial length prefix.
 pub const MAX_HANDSHAKE_WIRE_LEN: usize = 64 * 1024;
 
-/// Wire length of the frame header ([`Frame::encode`]'s fixed prefix).
-const HEADER_LEN: usize = 9;
+/// Wire length of the frame header ([`Frame::encode`]'s fixed prefix):
+/// kind (1) + `i` (4) + `j` (4) + run generation (4).
+const HEADER_LEN: usize = 13;
 
 /// Write `frame` to `w` as `u32 LE wire length` + the [`Frame::encode`]
-/// image, without intermediate allocation: the 13 fixed bytes go out as
-/// one slice, the payload as another (zero-copy from the frame's
-/// [`Bytes`]). A frame beyond [`MAX_WIRE_LEN`] is rejected here, on the
-/// send side, before any byte hits the wire.
-pub fn write_frame_to(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
-    let wire_len = frame.wire_len();
+/// image, without intermediate allocation: the 17 fixed bytes, the
+/// payload (zero-copy from the frame's [`Bytes`]), and — with `checksum`
+/// on — a CRC32C over the encoded image (header + payload, **not** the
+/// length prefix) as a `u32 LE` trailer covered by the length prefix.
+/// All pieces go out in one vectored write, so on a `TCP_NODELAY` socket
+/// a frame is one syscall and one segment regardless of the trailer — a
+/// separate 4-byte `write` per frame would otherwise double the packet
+/// count on small-frame workloads. A frame beyond [`MAX_WIRE_LEN`] is
+/// rejected here, on the send side, before any byte hits the wire.
+pub fn write_frame_to(w: &mut impl Write, frame: &Frame, checksum: bool) -> io::Result<()> {
+    let trailer = if checksum { 4 } else { 0 };
+    let wire_len = frame.wire_len() + trailer;
     if wire_len > MAX_WIRE_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -215,9 +272,40 @@ pub fn write_frame_to(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     let mut prefix = [0u8; 4 + HEADER_LEN];
     prefix[..4].copy_from_slice(&(wire_len as u32).to_le_bytes());
     prefix[4..].copy_from_slice(&encoded);
-    w.write_all(&prefix)?;
-    if !frame.payload.is_empty() {
-        w.write_all(&frame.payload)?;
+    let mut trailer_bytes = [0u8; 4];
+    if checksum {
+        let mut crc = Crc32c::new();
+        crc.update(&encoded);
+        crc.update(&frame.payload);
+        trailer_bytes = crc.finish().to_le_bytes();
+    }
+    let mut slices = [
+        io::IoSlice::new(&prefix),
+        io::IoSlice::new(&frame.payload),
+        io::IoSlice::new(&trailer_bytes[..trailer]),
+    ];
+    // Manual write_all_vectored: loop until every byte is out, advancing
+    // past whole and partial slices (zero-length slices are skipped by
+    // `advance_slices`). Tracking the byte count — rather than testing
+    // `slices.is_empty()` — keeps trailing empty slices from stalling
+    // the loop.
+    let mut remaining = 4 + wire_len;
+    let mut slices = &mut slices[..];
+    while remaining > 0 {
+        match w.write_vectored(slices) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                ))
+            }
+            Ok(n) => {
+                remaining -= n;
+                io::IoSlice::advance_slices(&mut slices, n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
     }
     w.flush()
 }
@@ -230,13 +318,16 @@ pub fn write_frame_to(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
 /// Returns `Ok(None)` on a clean end-of-stream (EOF exactly at a frame
 /// boundary). Everything else that is not a whole, well-formed frame is
 /// an error: EOF mid-prefix or mid-frame (`UnexpectedEof`), a length
-/// prefix shorter than the 9-byte header or larger than `max_wire_len`
+/// prefix shorter than the 13-byte header (plus the 4-byte CRC trailer
+/// when `checksum` is on) or larger than `max_wire_len`
 /// ([`MAX_WIRE_LEN`] on enrolled links, [`MAX_HANDSHAKE_WIRE_LEN`]
-/// during the handshake), or an undecodable header (unknown frame kind).
+/// during the handshake), a CRC32C trailer that does not match the
+/// received image, or an undecodable header (unknown frame kind).
 pub fn read_frame_from(
     r: &mut impl Read,
     pool: &BufferPool,
     max_wire_len: usize,
+    checksum: bool,
 ) -> io::Result<Option<Frame>> {
     let mut prefix = [0u8; 4];
     // EOF before the first prefix byte is a clean close; EOF after it is
@@ -255,10 +346,11 @@ pub fn read_frame_from(
     }
     r.read_exact(&mut prefix[1..])?;
     let wire_len = u32::from_le_bytes(prefix) as usize;
-    if wire_len < HEADER_LEN {
+    let min_len = HEADER_LEN + if checksum { 4 } else { 0 };
+    if wire_len < min_len {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame length prefix {wire_len} is shorter than the {HEADER_LEN}-byte header"),
+            format!("frame length prefix {wire_len} is shorter than the {min_len}-byte minimum"),
         ));
     }
     if wire_len > max_wire_len {
@@ -273,7 +365,24 @@ pub fn read_frame_from(
         read_result = r.read_exact(buf);
     });
     read_result?;
-    Frame::decode_bytes(buf).map(Some).ok_or_else(|| {
+    let image = if checksum {
+        let body = wire_len - 4;
+        let presented = u32::from_le_bytes(buf[body..].try_into().expect("4-byte trailer"));
+        let computed = crc32c(&buf[..body]);
+        if presented != computed {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "frame checksum mismatch: wire says {presented:#010x}, \
+                     received bytes hash to {computed:#010x}"
+                ),
+            ));
+        }
+        buf.slice(..body)
+    } else {
+        buf
+    };
+    Frame::decode_bytes(image).map(Some).ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidData, "undecodable frame header (unknown kind tag)")
     })
 }
@@ -297,36 +406,50 @@ pub trait FrameWrite: Send {
 pub struct FramedReader<R: Read + Send> {
     inner: R,
     pool: BufferPool,
+    checksum: bool,
 }
 
 impl<R: Read + Send> FramedReader<R> {
-    /// Wrap `inner` with a fresh receive-buffer pool.
+    /// Wrap `inner` with a fresh receive-buffer pool, honoring the
+    /// ambient [`checksum_enabled`] setting.
     pub fn new(inner: R) -> Self {
-        FramedReader { inner, pool: BufferPool::new() }
+        Self::with_checksum(inner, checksum_enabled())
+    }
+
+    /// Wrap `inner` with an explicit checksum setting (tests staging
+    /// both wire formats in one process).
+    pub fn with_checksum(inner: R, checksum: bool) -> Self {
+        FramedReader { inner, pool: BufferPool::new(), checksum }
     }
 }
 
 impl<R: Read + Send> FrameRead for FramedReader<R> {
     fn recv_frame(&mut self) -> io::Result<Option<Frame>> {
-        read_frame_from(&mut self.inner, &self.pool, MAX_WIRE_LEN)
+        read_frame_from(&mut self.inner, &self.pool, MAX_WIRE_LEN, self.checksum)
     }
 }
 
 /// [`FrameWrite`] over any byte writer.
 pub struct FramedWriter<W: Write + Send> {
     inner: W,
+    checksum: bool,
 }
 
 impl<W: Write + Send> FramedWriter<W> {
-    /// Wrap `inner`.
+    /// Wrap `inner`, honoring the ambient [`checksum_enabled`] setting.
     pub fn new(inner: W) -> Self {
-        FramedWriter { inner }
+        Self::with_checksum(inner, checksum_enabled())
+    }
+
+    /// Wrap `inner` with an explicit checksum setting.
+    pub fn with_checksum(inner: W, checksum: bool) -> Self {
+        FramedWriter { inner, checksum }
     }
 }
 
 impl<W: Write + Send> FrameWrite for FramedWriter<W> {
     fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
-        write_frame_to(&mut self.inner, frame)
+        write_frame_to(&mut self.inner, frame, self.checksum)
     }
 }
 
@@ -362,23 +485,26 @@ pub trait FrameStream: Send {
 pub struct TcpTransport {
     stream: TcpStream,
     pool: BufferPool,
+    checksum: bool,
 }
 
 impl TcpTransport {
-    /// Wrap a connected stream (sets `TCP_NODELAY`).
+    /// Wrap a connected stream (sets `TCP_NODELAY`); the checksum flag
+    /// is captured once here so the whole stream — handshake and split
+    /// halves alike — speaks one wire format.
     pub fn new(stream: TcpStream) -> io::Result<Self> {
         stream.set_nodelay(true)?;
-        Ok(TcpTransport { stream, pool: BufferPool::new() })
+        Ok(TcpTransport { stream, pool: BufferPool::new(), checksum: checksum_enabled() })
     }
 }
 
 impl FrameStream for TcpTransport {
     fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
-        write_frame_to(&mut self.stream, frame)
+        write_frame_to(&mut self.stream, frame, self.checksum)
     }
 
     fn recv_frame_capped(&mut self, max_wire_len: usize) -> io::Result<Option<Frame>> {
-        read_frame_from(&mut self.stream, &self.pool, max_wire_len)
+        read_frame_from(&mut self.stream, &self.pool, max_wire_len, self.checksum)
     }
 
     fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
@@ -387,7 +513,10 @@ impl FrameStream for TcpTransport {
 
     fn split(self: Box<Self>) -> io::Result<(Box<dyn FrameRead>, Box<dyn FrameWrite>)> {
         let reader = self.stream.try_clone()?;
-        Ok((Box::new(FramedReader::new(reader)), Box::new(FramedWriter::new(self.stream))))
+        Ok((
+            Box::new(FramedReader::with_checksum(reader, self.checksum)),
+            Box::new(FramedWriter::with_checksum(self.stream, self.checksum)),
+        ))
     }
 
     fn peer(&self) -> String {
@@ -403,24 +532,25 @@ impl FrameStream for TcpTransport {
 pub struct UdsTransport {
     stream: UnixStream,
     pool: BufferPool,
+    checksum: bool,
 }
 
 #[cfg(unix)]
 impl UdsTransport {
     /// Wrap a connected stream.
     pub fn new(stream: UnixStream) -> Self {
-        UdsTransport { stream, pool: BufferPool::new() }
+        UdsTransport { stream, pool: BufferPool::new(), checksum: checksum_enabled() }
     }
 }
 
 #[cfg(unix)]
 impl FrameStream for UdsTransport {
     fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
-        write_frame_to(&mut self.stream, frame)
+        write_frame_to(&mut self.stream, frame, self.checksum)
     }
 
     fn recv_frame_capped(&mut self, max_wire_len: usize) -> io::Result<Option<Frame>> {
-        read_frame_from(&mut self.stream, &self.pool, max_wire_len)
+        read_frame_from(&mut self.stream, &self.pool, max_wire_len, self.checksum)
     }
 
     fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
@@ -429,7 +559,10 @@ impl FrameStream for UdsTransport {
 
     fn split(self: Box<Self>) -> io::Result<(Box<dyn FrameRead>, Box<dyn FrameWrite>)> {
         let reader = self.stream.try_clone()?;
-        Ok((Box::new(FramedReader::new(reader)), Box::new(FramedWriter::new(self.stream))))
+        Ok((
+            Box::new(FramedReader::with_checksum(reader, self.checksum)),
+            Box::new(FramedWriter::with_checksum(self.stream, self.checksum)),
+        ))
     }
 
     fn peer(&self) -> String {
@@ -740,6 +873,22 @@ pub enum FaultAction {
     /// Write a torn frame — correct length prefix, half the bytes — then
     /// fail every later write: the peer sees stream corruption.
     Truncate,
+    /// Flip one bit in the trigger frame's encoded image (after the
+    /// CRC32C trailer was computed over the clean bytes) and send it —
+    /// once. Earlier and later frames pass unharmed, so the stream
+    /// itself stays healthy: with checksums on the receiver detects the
+    /// flip and declares the link corrupt; with them off the flipped
+    /// payload would be delivered as silently wrong coefficients — the
+    /// very failure the checksum exists to catch.
+    Corrupt,
+    /// Capture outbound data frames and, once the trigger count is
+    /// reached **and** a frame from a previous run generation has been
+    /// captured, replay that stale frame (verbatim wire image, valid
+    /// checksum) ahead of the real one — a delayed duplicate from an
+    /// earlier run surfacing mid-run. The receiver's generation check
+    /// must reject it structurally; nothing of the old run may leak
+    /// into the new one.
+    Stale,
     /// Handshake-stage fault: instead of a hello, send an unrelated
     /// frame — a peer that does not speak the enrollment protocol. The
     /// master must reject it (protocol/version) and keep accepting.
@@ -771,12 +920,12 @@ pub struct FaultSpec {
 }
 
 /// Parse an `MWP_FAULT` value: empty means "no fault" (`None`);
-/// otherwise `kill:<n>`, `drop:<n>`, `delay:<n>:<ms>`, or
-/// `truncate:<n>`, where `<n>` is the number of outbound data frames
-/// that pass before the fault fires — or a bare `badhello` / `badauth`
-/// handshake fault, which fires at enrollment (there is no frame count
-/// to wait for: the handshake is the first exchange). Strict: anything
-/// else is an error naming the valid forms.
+/// otherwise `kill:<n>`, `drop:<n>`, `delay:<n>:<ms>`, `truncate:<n>`,
+/// `corrupt:<n>`, or `stale:<n>`, where `<n>` is the number of outbound
+/// data frames that pass before the fault fires — or a bare `badhello` /
+/// `badauth` handshake fault, which fires at enrollment (there is no
+/// frame count to wait for: the handshake is the first exchange).
+/// Strict: anything else is an error naming the valid forms.
 pub fn parse_fault_spec(value: &str) -> Result<Option<FaultSpec>, String> {
     let v = value.trim();
     if v.is_empty() {
@@ -785,7 +934,7 @@ pub fn parse_fault_spec(value: &str) -> Result<Option<FaultSpec>, String> {
     let bad = || {
         format!(
             "unknown fault '{value}' (valid: kill:<n>, drop:<n>, delay:<n>:<ms>, truncate:<n>, \
-             badhello, badauth)"
+             corrupt:<n>, stale:<n>, badhello, badauth)"
         )
     };
     match v {
@@ -800,6 +949,8 @@ pub fn parse_fault_spec(value: &str) -> Result<Option<FaultSpec>, String> {
         ("kill", None) => FaultSpec { action: FaultAction::Kill, after },
         ("drop", None) => FaultSpec { action: FaultAction::Drop, after },
         ("truncate", None) => FaultSpec { action: FaultAction::Truncate, after },
+        ("corrupt", None) => FaultSpec { action: FaultAction::Corrupt, after },
+        ("stale", None) => FaultSpec { action: FaultAction::Stale, after },
         ("delay", Some(ms)) => {
             let ms: u64 = ms.parse().map_err(|_| bad())?;
             FaultSpec { action: FaultAction::Delay(Duration::from_millis(ms)), after }
@@ -828,11 +979,42 @@ struct FaultState {
     spec: FaultSpec,
     sent: AtomicU64,
     poisoned: std::sync::atomic::AtomicBool,
+    /// Whether this stream's wire format carries the CRC32C trailer —
+    /// captured once so replayed/corrupted images match what the honest
+    /// path would have written.
+    checksum: bool,
+    /// `stale` capture: the most recent outbound data frame's (run
+    /// generation, full wire image). When a frame from a *newer* run
+    /// comes through, the held image is promoted to `stale_image` — a
+    /// guaranteed previous-generation frame.
+    last: std::sync::Mutex<Option<(u32, Vec<u8>)>>,
+    /// `stale` replay material: a verbatim wire image from a previous
+    /// run generation, valid checksum and all.
+    stale_image: std::sync::Mutex<Option<Vec<u8>>>,
+    /// The stale replay fires at most once.
+    fired: std::sync::atomic::AtomicBool,
+}
+
+/// A frame's full wire image — length prefix, header, payload, and (when
+/// `checksum` is on) CRC trailer — exactly as the honest write path
+/// would emit it.
+fn wire_image(frame: &Frame, checksum: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + frame.wire_len() + 4);
+    write_frame_to(&mut out, frame, checksum).expect("writing to a Vec cannot fail");
+    out
 }
 
 impl FaultState {
     fn new(spec: FaultSpec) -> Self {
-        FaultState { spec, sent: AtomicU64::new(0), poisoned: std::sync::atomic::AtomicBool::new(false) }
+        FaultState {
+            spec,
+            sent: AtomicU64::new(0),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+            checksum: checksum_enabled(),
+            last: std::sync::Mutex::new(None),
+            stale_image: std::sync::Mutex::new(None),
+            fired: std::sync::atomic::AtomicBool::new(false),
+        }
     }
 
     /// Run one outbound frame through the fault: `Ok(true)` forward it,
@@ -852,6 +1034,9 @@ impl FaultState {
             ));
         }
         let n = self.sent.fetch_add(1, Relaxed);
+        if self.spec.action == FaultAction::Stale {
+            return self.stale_on_send(frame, n, w);
+        }
         if n < self.spec.after {
             return Ok(true);
         }
@@ -864,7 +1049,7 @@ impl FaultState {
             }
             FaultAction::Truncate => {
                 // A torn frame: honest length prefix, half the bytes.
-                let wire_len = frame.wire_len();
+                let wire_len = frame.wire_len() + if self.checksum { 4 } else { 0 };
                 w.write_all(&(wire_len as u32).to_le_bytes())?;
                 let image = frame.encode();
                 w.write_all(&image[..image.len() / 2])?;
@@ -872,10 +1057,63 @@ impl FaultState {
                 self.poisoned.store(true, Relaxed);
                 Err(io::Error::new(io::ErrorKind::BrokenPipe, "fault: frame torn mid-write"))
             }
+            FaultAction::Corrupt => {
+                // Fires exactly once: later frames pass unharmed, so the
+                // stream stays usable and only the receiver's checksum
+                // verdict decides the link's fate.
+                if n > self.spec.after {
+                    return Ok(true);
+                }
+                let mut image = wire_image(frame, self.checksum);
+                // Flip one bit past the length prefix — in the payload
+                // when there is one, else in the header — while leaving
+                // the CRC trailer itself intact, so the trailer honestly
+                // vouches for bytes that are no longer there.
+                let body_end = image.len() - if self.checksum { 4 } else { 0 };
+                let flip_at = (4 + HEADER_LEN).min(body_end - 1);
+                image[flip_at] ^= 0x01;
+                w.write_all(&image)?;
+                w.flush()?;
+                Ok(false)
+            }
+            FaultAction::Stale => unreachable!("handled above"),
             // Handshake faults never reach the stream wrapper — they are
             // consumed by `enroll_with` before any data frame exists.
             FaultAction::BadHello | FaultAction::BadAuth => Ok(true),
         }
+    }
+
+    /// The `stale` fault's send path: capture run-stamped data frames,
+    /// promote a captured image to replay material once a newer run
+    /// generation appears, and — at the trigger count, once — write the
+    /// stale image ahead of the real frame.
+    fn stale_on_send(&self, frame: &Frame, n: u64, w: &mut dyn Write) -> io::Result<bool> {
+        use std::sync::atomic::Ordering::Relaxed;
+        // Only run-stamped data frames are capture-worthy: control
+        // traffic (hello, run sentinels) rides run 0 or is structurally
+        // special, and replaying it would test the wrong rejection.
+        if frame.tag.kind.is_block() && frame.run != 0 {
+            let image = wire_image(frame, self.checksum);
+            let mut last = self.last.lock().expect("fault capture lock");
+            if let Some((run, held)) = last.take() {
+                if run != frame.run {
+                    let mut stale = self.stale_image.lock().expect("fault replay lock");
+                    if stale.is_none() {
+                        *stale = Some(held);
+                    }
+                }
+            }
+            *last = Some((frame.run, image));
+        }
+        if n >= self.spec.after && !self.fired.load(Relaxed) {
+            let replay = self.stale_image.lock().expect("fault replay lock").take();
+            if let Some(image) = replay {
+                self.fired.store(true, Relaxed);
+                w.write_all(&image)?;
+                w.flush()?;
+            }
+        }
+        Ok(true)
     }
 }
 
@@ -935,13 +1173,13 @@ impl<S: RawStream> FaultyStream<S> {
 impl<S: RawStream> FrameStream for FaultyStream<S> {
     fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
         if self.state.on_send(frame, &mut self.stream)? {
-            write_frame_to(&mut self.stream, frame)?;
+            write_frame_to(&mut self.stream, frame, self.state.checksum)?;
         }
         Ok(())
     }
 
     fn recv_frame_capped(&mut self, max_wire_len: usize) -> io::Result<Option<Frame>> {
-        read_frame_from(&mut self.stream, &self.pool, max_wire_len)
+        read_frame_from(&mut self.stream, &self.pool, max_wire_len, self.state.checksum)
     }
 
     fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
@@ -951,7 +1189,7 @@ impl<S: RawStream> FrameStream for FaultyStream<S> {
     fn split(self: Box<Self>) -> io::Result<(Box<dyn FrameRead>, Box<dyn FrameWrite>)> {
         let reader = self.stream.try_clone_raw()?;
         Ok((
-            Box::new(FramedReader::new(reader)),
+            Box::new(FramedReader::with_checksum(reader, self.state.checksum)),
             Box::new(FaultyWriter { inner: self.stream, state: self.state }),
         ))
     }
@@ -970,7 +1208,7 @@ struct FaultyWriter<S: RawStream> {
 impl<S: RawStream> FrameWrite for FaultyWriter<S> {
     fn send_frame(&mut self, frame: &Frame) -> io::Result<()> {
         if self.state.on_send(frame, &mut self.inner)? {
-            write_frame_to(&mut self.inner, frame)?;
+            write_frame_to(&mut self.inner, frame, self.state.checksum)?;
         }
         Ok(())
     }
@@ -1060,7 +1298,12 @@ pub const CLAIM_ANY: u32 = u32::MAX;
 /// whose hello has no version field at all — is turned away with a
 /// [`REJECT_VERSION`] rejection instead of a decode error, so mixed
 /// fleets degrade to a clean, diagnosable refusal.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3 extended the frame header with the run-generation field (and made
+/// the CRC32C trailer the default wire format): a v2 peer would misread
+/// every data frame, so it must be refused at the door, not discovered
+/// via corruption mid-run.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Reject code: protocol-version mismatch (or a first frame that is not
 /// a hello at all — a peer not speaking this protocol).
@@ -1148,14 +1391,14 @@ pub fn handshake_timeout() -> Duration {
     Duration::from_millis(ms)
 }
 
-/// Fixed-field length of a v2 hello payload: version (4) + epoch (8) +
-/// worker nonce (16) + MAC (32); fingerprint bytes follow. A shorter
-/// payload can only come from a different protocol version.
+/// Fixed-field length of a hello payload (layout unchanged since v2):
+/// version (4) + epoch (8) + worker nonce (16) + MAC (32); fingerprint
+/// bytes follow. A shorter payload can only come from a pre-v2 peer.
 const HELLO_FIXED_LEN: usize = 4 + 8 + 16 + 32;
 /// Byte offset of the MAC within a hello payload.
 const HELLO_MAC_AT: usize = 4 + 8 + 16;
-/// Exact length of a v2 welcome payload: c, w, m, time_scale (8 each) +
-/// service (1) + epoch (8) + MAC (32).
+/// Exact length of a welcome payload (layout unchanged since v2): c, w,
+/// m, time_scale (8 each) + service (1) + epoch (8) + MAC (32).
 const WELCOME_WIRE_LEN: usize = 8 * 4 + 1 + 8 + 32;
 /// Byte offset of the MAC within a welcome payload (everything before it
 /// is the MAC'd fixed image).
@@ -1746,10 +1989,22 @@ mod tests {
         }
     }
 
+    /// Raw (checksum-less) wire image of `frames` — the `MWP_CHECKSUM=off`
+    /// format. Checksum-format tests build their wire with
+    /// [`checked_wire_of`].
     fn wire_of(frames: &[Frame]) -> Vec<u8> {
         let mut out = Vec::new();
         for f in frames {
-            write_frame_to(&mut out, f).unwrap();
+            write_frame_to(&mut out, f, false).unwrap();
+        }
+        out
+    }
+
+    /// Wire image with the CRC32C trailer (the default format).
+    fn checked_wire_of(frames: &[Frame]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for f in frames {
+            write_frame_to(&mut out, f, true).unwrap();
         }
         out
     }
@@ -1765,9 +2020,41 @@ mod tests {
         let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
         let pool = BufferPool::new();
         for f in &frames {
-            assert_eq!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().as_ref(), Some(f));
+            assert_eq!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN, false).unwrap().as_ref(), Some(f));
         }
-        assert!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().is_none(), "clean EOF");
+        assert!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN, false).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn checksummed_framing_roundtrip_preserves_frames_and_run_tags() {
+        let frames = [
+            Frame::new_in_run(Tag::new(FrameKind::BlockB, 3, 17), 9, Bytes::from(vec![1, 2, 3, 4])),
+            frame(FrameKind::Control, 0, 0, &[]),
+            Frame::shutdown(),
+        ];
+        let wire = checked_wire_of(&frames);
+        let mut r = SplitReader { data: wire, pos: 0, chunk: 1 };
+        let pool = BufferPool::new();
+        for f in &frames {
+            assert_eq!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN, true).unwrap().as_ref(), Some(f));
+        }
+        assert!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN, true).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn any_flipped_bit_fails_the_checksum() {
+        let f = Frame::new_in_run(Tag::new(FrameKind::CResult, 2, 5), 3, Bytes::from(vec![7u8; 48]));
+        let clean = checked_wire_of(std::slice::from_ref(&f));
+        // Flip one bit at every position past the length prefix —
+        // header, payload, and the trailer itself: every single one
+        // must be detected, never delivered as a (wrong) frame.
+        for at in 4..clean.len() {
+            let mut wire = clean.clone();
+            wire[at] ^= 0x10;
+            let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
+            let err = read_frame_from(&mut r, &BufferPool::new(), MAX_WIRE_LEN, true).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at byte {at}");
+        }
     }
 
     #[test]
@@ -1778,21 +2065,30 @@ mod tests {
         let mut r = SplitReader { data: wire, pos: 0, chunk: 1 };
         let pool = BufferPool::new();
         for f in &frames {
-            assert_eq!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().as_ref(), Some(f));
+            assert_eq!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN, false).unwrap().as_ref(), Some(f));
         }
-        assert!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().is_none());
+        assert!(read_frame_from(&mut r, &pool, MAX_WIRE_LEN, false).unwrap().is_none());
     }
 
     #[test]
     fn truncated_stream_is_an_error_not_a_hang() {
         let wire = wire_of(&[frame(FrameKind::BlockB, 0, 0, &[5u8; 64])]);
         let pool = BufferPool::new();
-        // Cut at every interesting boundary: mid-prefix, mid-header,
+        // Cut at every interesting boundary: mid-prefix, mid-header
+        // (both before and inside the run-generation field), and
         // mid-payload.
-        for cut in [1, 3, 4 + 4, wire.len() - 1] {
+        for cut in [1, 3, 4 + 4, 4 + 10, 4 + 12, wire.len() - 1] {
             let mut r = SplitReader { data: wire[..cut].to_vec(), pos: 0, chunk: usize::MAX };
-            let err = read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap_err();
+            let err = read_frame_from(&mut r, &pool, MAX_WIRE_LEN, false).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+        // Same boundaries under the checksum format, plus a cut inside
+        // the CRC trailer itself.
+        let wire = checked_wire_of(&[frame(FrameKind::BlockB, 0, 0, &[5u8; 64])]);
+        for cut in [1, 3, 4 + 4, 4 + 10, 4 + 12, wire.len() - 3, wire.len() - 1] {
+            let mut r = SplitReader { data: wire[..cut].to_vec(), pos: 0, chunk: usize::MAX };
+            let err = read_frame_from(&mut r, &pool, MAX_WIRE_LEN, true).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "checksummed cut at {cut}");
         }
     }
 
@@ -1803,22 +2099,31 @@ mod tests {
         wire.extend_from_slice(&(3u32 << 30).to_le_bytes());
         wire.extend_from_slice(&[0u8; 32]);
         let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
-        let err = read_frame_from(&mut r, &BufferPool::new(), MAX_WIRE_LEN).unwrap_err();
+        let err = read_frame_from(&mut r, &BufferPool::new(), MAX_WIRE_LEN, false).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("exceeds"), "got: {err}");
     }
 
     #[test]
     fn undersized_length_prefix_is_rejected() {
-        // A prefix shorter than the 9-byte header can never frame a
-        // valid message.
-        for len in 0u32..9 {
+        // A prefix shorter than the 13-byte header can never frame a
+        // valid message; under the checksum format the floor is 17
+        // (header + CRC trailer).
+        for len in 0u32..13 {
             let mut wire = Vec::new();
             wire.extend_from_slice(&len.to_le_bytes());
             wire.extend_from_slice(&vec![0u8; len as usize]);
             let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
-            let err = read_frame_from(&mut r, &BufferPool::new(), MAX_WIRE_LEN).unwrap_err();
+            let err = read_frame_from(&mut r, &BufferPool::new(), MAX_WIRE_LEN, false).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "len {len}");
+        }
+        for len in 0u32..17 {
+            let mut wire = Vec::new();
+            wire.extend_from_slice(&len.to_le_bytes());
+            wire.extend_from_slice(&vec![0u8; len as usize]);
+            let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
+            let err = read_frame_from(&mut r, &BufferPool::new(), MAX_WIRE_LEN, true).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "checksummed len {len}");
         }
     }
 
@@ -1827,8 +2132,20 @@ mod tests {
         let mut wire = wire_of(&[frame(FrameKind::BlockA, 1, 1, &[1, 2, 3])]);
         wire[4] = 200; // corrupt the kind byte inside the framed image
         let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
-        let err = read_frame_from(&mut r, &BufferPool::new(), MAX_WIRE_LEN).unwrap_err();
+        let err = read_frame_from(&mut r, &BufferPool::new(), MAX_WIRE_LEN, false).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn checksum_parser_is_strict() {
+        assert_eq!(parse_checksum(""), Ok(true));
+        assert_eq!(parse_checksum("  "), Ok(true));
+        assert_eq!(parse_checksum("on"), Ok(true));
+        assert_eq!(parse_checksum("off"), Ok(false));
+        for bad in ["ON", "true", "1", "0", "yes", "crc32c"] {
+            let err = parse_checksum(bad).unwrap_err();
+            assert!(err.contains("on"), "'{bad}' error must name the valid values: {err}");
+        }
     }
 
     #[test]
@@ -1836,12 +2153,12 @@ mod tests {
         let wire = wire_of(&[frame(FrameKind::BlockB, 0, 0, &[9u8; 256])]);
         let pool = BufferPool::new();
         let mut r = SplitReader { data: wire.clone(), pos: 0, chunk: usize::MAX };
-        let f1 = read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().unwrap();
+        let f1 = read_frame_from(&mut r, &pool, MAX_WIRE_LEN, false).unwrap().unwrap();
         let first_ptr = f1.payload.as_ptr();
         drop(f1); // last view: the buffer returns to the pool
         assert_eq!(pool.idle_buffers(), 1);
         let mut r = SplitReader { data: wire, pos: 0, chunk: usize::MAX };
-        let f2 = read_frame_from(&mut r, &pool, MAX_WIRE_LEN).unwrap().unwrap();
+        let f2 = read_frame_from(&mut r, &pool, MAX_WIRE_LEN, false).unwrap().unwrap();
         // Second receive lands in the recycled storage (same backing
         // buffer, so same payload offset within it).
         assert_eq!(f2.payload.as_ptr(), first_ptr);
@@ -1917,6 +2234,39 @@ mod tests {
             Bytes::from(b"fp".to_vec()),
         );
         assert_eq!(parse_hello(&legacy).unwrap_err().kind(), io::ErrorKind::Unsupported);
+    }
+
+    /// A peer from the previous protocol revision — structurally valid
+    /// v2 hello, version field and all — must be turned away with the
+    /// coded [`REJECT_VERSION`], not a decode error: a v2 build misreads
+    /// every v3 data frame, so the door is where it has to stop.
+    #[test]
+    fn previous_version_peer_is_rejected_with_a_version_code() {
+        let secret = b"version-gate-secret";
+        let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+        let endpoint = listener.endpoint();
+        let master = thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let err = master_challenge(conn.as_mut())
+                .and_then(|ch| master_read_hello(conn.as_mut(), secret, &ch, 1).map(|_| ()))
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        });
+        let mut conn = connect_with_retry(&endpoint, Duration::from_secs(5)).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let challenge =
+            parse_challenge(&expect_frame(conn.recv_frame_capped(MAX_HANDSHAKE_WIRE_LEN).unwrap(), "challenge").unwrap())
+                .unwrap();
+        let hello = Hello { claimed: None, epoch: 0, nonce: auth::fresh_nonce(), fingerprint: vec![] };
+        let good = hello_frame(&hello, secret, &challenge);
+        let mut payload = good.payload.to_vec();
+        payload[0..4].copy_from_slice(&(PROTOCOL_VERSION - 1).to_le_bytes());
+        conn.send_frame(&Frame::new(good.tag, Bytes::from(payload))).unwrap();
+        let reply = expect_frame(conn.recv_frame_capped(MAX_HANDSHAKE_WIRE_LEN).unwrap(), "reject").unwrap();
+        assert!(is_reject(&reply), "expected a reject frame, got {:?}", reply.tag);
+        assert_eq!(reply.tag.j, REJECT_VERSION, "the rejection must carry the version code");
+        assert_eq!(reject_error(&reply).kind(), io::ErrorKind::Unsupported);
+        master.join().unwrap();
     }
 
     #[test]
@@ -2216,9 +2566,18 @@ mod tests {
             parse_fault_spec("truncate:7"),
             Ok(Some(FaultSpec { action: FaultAction::Truncate, after: 7 }))
         );
-        for bad in
-            ["kill", "kill:", "kill:x", "drop:1:2", "delay:1", "delay:1:", "explode:1", "kill:3:"]
-        {
+        assert_eq!(
+            parse_fault_spec("corrupt:4"),
+            Ok(Some(FaultSpec { action: FaultAction::Corrupt, after: 4 }))
+        );
+        assert_eq!(
+            parse_fault_spec("stale:2"),
+            Ok(Some(FaultSpec { action: FaultAction::Stale, after: 2 }))
+        );
+        for bad in [
+            "kill", "kill:", "kill:x", "drop:1:2", "delay:1", "delay:1:", "explode:1", "kill:3:",
+            "corrupt", "corrupt:1:2", "stale", "stale:x",
+        ] {
             assert!(parse_fault_spec(bad).is_err(), "'{bad}' must be rejected: a chaos leg \
                  silently running faultless would be green CI lying");
         }
@@ -2322,6 +2681,58 @@ mod tests {
         for i in 0..2 {
             assert_eq!(peer.recv_frame_capped(MAX_WIRE_LEN).unwrap().unwrap().tag.i, i);
         }
+    }
+
+    #[test]
+    fn corrupt_fault_flips_one_bit_the_checksum_catches_and_the_stream_survives() {
+        let (mut faulty, mut peer) =
+            faulty_pair(FaultSpec { action: FaultAction::Corrupt, after: 1 });
+        faulty.send_frame(&frame(FrameKind::BlockA, 0, 0, &[6u8; 32])).unwrap();
+        // The trigger frame: its wire image goes out with one payload
+        // bit flipped under a CRC computed over the clean bytes. The
+        // sender sees a successful write — a corrupting NIC does not
+        // report itself.
+        faulty.send_frame(&frame(FrameKind::BlockA, 1, 0, &[6u8; 32])).unwrap();
+        faulty.send_frame(&frame(FrameKind::BlockA, 2, 0, &[6u8; 32])).unwrap();
+        assert_eq!(peer.recv_frame_capped(MAX_WIRE_LEN).unwrap().unwrap().tag.i, 0);
+        let err = peer.recv_frame_capped(MAX_WIRE_LEN).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+        // The fault fires once: the frame after the corrupted one is
+        // clean, and because the corrupted image had an honest length
+        // prefix the stream never desyncs. (In production the pump
+        // thread exits on the error and the link is marked dead — the
+        // frame-level recovery here just proves the blast radius is one
+        // frame.)
+        assert_eq!(peer.recv_frame_capped(MAX_WIRE_LEN).unwrap().unwrap().tag.i, 2);
+    }
+
+    #[test]
+    fn stale_fault_replays_a_previous_generation_frame_verbatim() {
+        let (mut faulty, mut peer) =
+            faulty_pair(FaultSpec { action: FaultAction::Stale, after: 2 });
+        let block =
+            |i: usize, run: u32| Frame::new_in_run(Tag::new(FrameKind::CResult, i, 0), run, Bytes::from(vec![i as u8; 16]));
+        // Run 1's frame is captured; run 2's first frame promotes it to
+        // replay material; run 2's second frame trips the trigger, so
+        // the run-1 image is replayed ahead of it — checksum intact,
+        // generation stale.
+        faulty.send_frame(&block(10, 1)).unwrap();
+        faulty.send_frame(&block(20, 2)).unwrap();
+        faulty.send_frame(&block(21, 2)).unwrap();
+        let received: Vec<Frame> = (0..4)
+            .map(|_| peer.recv_frame_capped(MAX_WIRE_LEN).unwrap().unwrap())
+            .collect();
+        assert_eq!(received[0], block(10, 1));
+        assert_eq!(received[1], block(20, 2));
+        assert_eq!(received[2], block(10, 1), "the stale replay rides between live frames");
+        assert_eq!(received[3], block(21, 2));
+        // Heartbeats and run-0 control frames are never captured, and
+        // the replay fires exactly once.
+        faulty.send_frame(&Frame::heartbeat()).unwrap();
+        faulty.send_frame(&block(22, 2)).unwrap();
+        assert_eq!(peer.recv_frame_capped(MAX_WIRE_LEN).unwrap().unwrap().tag.kind, FrameKind::Heartbeat);
+        assert_eq!(peer.recv_frame_capped(MAX_WIRE_LEN).unwrap().unwrap(), block(22, 2));
     }
 
     #[test]

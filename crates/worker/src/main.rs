@@ -33,8 +33,12 @@
 //! Setting `MWP_FAULT` (e.g. `kill:40`, `drop:25`, `delay:10:500`,
 //! `truncate:12`) wraps the socket in the deterministic fault-injection
 //! layer — how the chaos tests make *this* worker the one that dies.
-//! The handshake-stage faults `badhello` / `badauth` corrupt the
-//! enrollment itself, exercising the master's rejection path.
+//! The data-plane faults `corrupt:<n>` (flip one bit of the nth outbound
+//! frame, caught by the CRC32C trailer) and `stale:<n>` (replay a
+//! captured previous-generation frame, rejected by the run-generation
+//! tag) exercise the integrity layer; the handshake-stage faults
+//! `badhello` / `badauth` corrupt the enrollment itself, exercising the
+//! master's rejection path.
 
 use mwp_msg::transport::{self, SERVICE_LU, SERVICE_MATRIX};
 use std::process::ExitCode;

@@ -177,6 +177,87 @@ fn lu_recovers_bit_identically_when_a_worker_aborts_mid_run() {
 }
 
 #[test]
+fn corrupted_frame_trips_the_checksum_and_redispatch_recovers_bit_identically() {
+    // One worker flips a single bit in its nth outbound result frame
+    // (`MWP_FAULT=corrupt:2`) — the CRC32C trailer still vouches for the
+    // original bytes, so the master's pump must reject the frame, declare
+    // the link dead, and re-dispatch the lost chunk to the survivors.
+    // Every round, before and after the corruption, must stay
+    // bit-identical to the healthy in-process reference: a flipped bit
+    // costs one worker, never one ulp.
+    let platform = Platform::homogeneous(3, 4.0, 1.0, 20).unwrap();
+    let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+    let endpoint = listener.endpoint();
+    let healthy: Vec<Child> = (0..2).map(|_| spawn_worker(&endpoint, "")).collect();
+    let corruptor = spawn_worker(&endpoint, "corrupt:2");
+    let remote = RuntimeSession::accept_remote(&platform, 0.0, &listener).unwrap();
+    let local = RuntimeSession::with_transport(&platform, 0.0, TransportMode::Channel);
+
+    for round in 0..6u64 {
+        let (a, b, c0) = holm_round(round);
+        let over_socket = remote.run_all_workers(&a, &b, c0.clone()).unwrap();
+        let over_channel = local.run_all_workers(&a, &b, c0).unwrap();
+        assert_eq!(
+            over_socket.c.max_abs_diff(&over_channel.c),
+            0.0,
+            "round {round}: recovered result must be bit-identical"
+        );
+        if remote.dead_workers() > 0 {
+            break;
+        }
+    }
+    assert_eq!(remote.dead_workers(), 1, "the corrupt:2 fault never tripped the checksum");
+
+    local.shutdown();
+    remote.shutdown();
+    reap(healthy);
+    // Unlike kill, corruption leaves the worker process healthy — only
+    // its *link* dies (the master stops talking to it). It exits 0 when
+    // the session closes its socket.
+    reap(vec![corruptor]);
+}
+
+#[test]
+fn stale_generation_replay_is_rejected_without_touching_the_result() {
+    // One worker captures a result frame from an earlier run and replays
+    // it verbatim — previous generation tag, valid checksum — ahead of a
+    // later run's traffic (`MWP_FAULT=stale:2`). The master's link layer
+    // must reject it structurally (the run tag mismatches) before any
+    // block accounting: the run stays bit-identical, the link stays
+    // alive, and the rejection is observable in the session's stats.
+    let platform = Platform::homogeneous(3, 4.0, 1.0, 20).unwrap();
+    let listener = TransportListener::bind(TransportMode::Tcp).unwrap();
+    let endpoint = listener.endpoint();
+    let healthy: Vec<Child> = (0..2).map(|_| spawn_worker(&endpoint, "")).collect();
+    let replayer = spawn_worker(&endpoint, "stale:2");
+    let remote = RuntimeSession::accept_remote(&platform, 0.0, &listener).unwrap();
+    let local = RuntimeSession::with_transport(&platform, 0.0, TransportMode::Channel);
+
+    // The fault needs a run boundary to harvest a previous-generation
+    // frame, so it can fire on round 1 at the earliest.
+    for round in 0..8u64 {
+        let (a, b, c0) = holm_round(round);
+        let over_socket = remote.run_all_workers(&a, &b, c0.clone()).unwrap();
+        let over_channel = local.run_all_workers(&a, &b, c0).unwrap();
+        assert_eq!(
+            over_socket.c.max_abs_diff(&over_channel.c),
+            0.0,
+            "round {round}: a stale replay must never perturb the result"
+        );
+        if remote.stale_rejections() > 0 {
+            break;
+        }
+    }
+    assert!(remote.stale_rejections() > 0, "the stale:2 fault never replayed a frame");
+    assert_eq!(remote.dead_workers(), 0, "a stale frame is rejected, not a link death");
+
+    local.shutdown();
+    remote.shutdown();
+    reap(healthy);
+    reap(vec![replayer]);
+}
+
+#[test]
 fn holm_survives_a_real_sigkill_then_readmits_a_replacement() {
     // The full elastic-fleet story over real processes: a healthy round,
     // an actual `kill -9` (SIGKILL, no abort handler, no goodbye), a
