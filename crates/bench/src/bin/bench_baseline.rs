@@ -18,6 +18,11 @@
 //! restricts both modes to workloads whose name starts with a given
 //! prefix — how the CI heartbeat-cost gate measures `session_reuse/`
 //! and `run_` without the pure-compute kernel sweeps.
+//! `--serving-gate X` measures only the `serving/*` pair (the same job
+//! queue through the scheduler, one run generation per job vs batched
+//! composite runs) and exits nonzero unless the batched leg clears
+//! `X`× the serial leg's jobs/sec — the CI throughput gate for the
+//! batching tier, run over TCP.
 //! Block-kernel workloads also report GFLOP/s (2q³ FLOPs per update), so
 //! kernel throughput is tracked directly rather than inferred from time,
 //! and pack-counting workloads report B packs per iteration, so repack
@@ -28,7 +33,10 @@
 //! `MWP_PACK=off` to A/B the prepacked-reuse paths against per-call
 //! packing on the same build.
 
-use mwp_bench::baseline::{from_json, measure_all, session_speedups, to_json, Measurement};
+use mwp_bench::baseline::{
+    from_json, measure_all, measure_serving, serving_speedup, session_speedups, to_json,
+    Measurement,
+};
 
 /// Print the fresh-spawn vs pooled-session amortization ratios measurable
 /// in this run (both halves measured on the same build, same machine).
@@ -37,6 +45,15 @@ fn print_session_speedups(measurements: &[Measurement]) {
         println!(
             "session reuse vs fresh spawn ({}): {:.0} -> {:.0} ns/iter ({:.2}x)",
             sp.fresh_name, sp.fresh_ns, sp.pooled_ns, sp.ratio
+        );
+    }
+}
+
+/// Print the serial vs batched serving throughput measurable in this run.
+fn print_serving_speedup(measurements: &[Measurement]) {
+    if let Some((serial, batch, ratio)) = serving_speedup(measurements) {
+        println!(
+            "batched serving vs one-run-per-job: {serial:.0} -> {batch:.0} jobs/sec ({ratio:.2}x)"
         );
     }
 }
@@ -96,9 +113,49 @@ fn main() {
                 println!("{:<28} {:>14.1} ns/iter{gflops}{packs}", m.name, m.ns_per_iter);
             }
             print_session_speedups(&ms);
+            print_serving_speedup(&ms);
             let doc = to_json(&ms, "pre-optimization baseline");
             std::fs::write(path, doc).expect("write baseline file");
             println!("baseline written to {path}");
+        }
+        "--serving-gate" => {
+            // Measure only the serving pair (fast) and assert the
+            // batching tier's jobs/sec win over one-run-per-job. Runs on
+            // whatever `MWP_TRANSPORT` selects — CI gates it over TCP,
+            // where the per-run lifecycle costs real round trips.
+            let floor = args
+                .get(1)
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--serving-gate needs a numeric ratio floor (e.g. 2.0)");
+                    std::process::exit(2);
+                });
+            let ms = measure_serving();
+            for m in &ms {
+                println!(
+                    "{:<28} {:>14.1} ns/job {:>8.0} jobs/sec  p50 {:>10.0} ns  p99 {:>10.0} ns",
+                    m.name,
+                    m.ns_per_iter,
+                    m.jobs_per_sec.unwrap_or(f64::NAN),
+                    m.p50_ns.unwrap_or(f64::NAN),
+                    m.p99_ns.unwrap_or(f64::NAN),
+                );
+            }
+            let Some((serial, batch, ratio)) = serving_speedup(&ms) else {
+                eprintln!("FAIL: the serving pair was not measured — the gate cannot pass vacuously");
+                std::process::exit(1);
+            };
+            println!(
+                "batched serving vs one-run-per-job: {serial:.0} -> {batch:.0} jobs/sec ({ratio:.2}x)"
+            );
+            if ratio < floor {
+                eprintln!(
+                    "FAIL: batched serving throughput is {ratio:.2}x one-run-per-job, \
+                     below the --serving-gate floor {floor}x"
+                );
+                std::process::exit(1);
+            }
+            println!("batched serving throughput is at or above the {floor}x floor");
         }
         "--compare" => {
             let doc = std::fs::read_to_string(path)
@@ -150,6 +207,7 @@ fn main() {
                 }
             }
             print_session_speedups(&current);
+            print_serving_speedup(&current);
             let geomean =
                 if compared > 0 { (log_sum / compared as f64).exp() } else { f64::NAN };
             println!(
@@ -181,7 +239,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown mode {other}; use --write or --compare");
+            eprintln!("unknown mode {other}; use --write, --compare, or --serving-gate");
             std::process::exit(2);
         }
     }

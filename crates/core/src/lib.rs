@@ -25,7 +25,13 @@
 //!   [`mwp_msg`] with real `q × q` block arithmetic, verified against the
 //!   serial product,
 //! * [`chunks`] — the tiling of the `C` matrix into per-worker `µ × µ`
-//!   chunks shared by all of the above.
+//!   chunks shared by all of the above,
+//! * [`serving`] — the multi-job serving tier (`MWP_SCHED=on`): a
+//!   [`serving::MatrixServer`] queues independent product jobs from many
+//!   caller threads and interleaves them as concurrent run generations
+//!   on one shared fleet, with cost-model admission control and a
+//!   small-`q` batching tier (`MWP_BATCH`) that fuses compatible queued
+//!   jobs into one composite run.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +54,7 @@ pub mod layout;
 pub mod remote;
 pub mod runtime;
 pub mod selection;
+pub mod serving;
 pub mod session;
 pub mod toy;
 

@@ -128,7 +128,10 @@ impl std::error::Error for RuntimeError {}
 ///
 /// One-shot wrapper over [`RuntimeSession::run_holm`]: spawns a session,
 /// runs once, shuts it down — or reuses the process-wide pooled session
-/// when `MWP_RUNTIME=session`.
+/// when `MWP_RUNTIME=session`. With `MWP_SCHED=on` the call is served as
+/// one job of the process-wide [`crate::serving::MatrixServer`] instead:
+/// same plan, same chunking, bit-identical result, but concurrent
+/// callers interleave on the shared fleet rather than serializing.
 pub fn run_holm(
     platform: &Platform,
     a: &BlockMatrix,
@@ -139,6 +142,9 @@ pub fn run_holm(
     // Pre-flight: a rejected call must cost an error return, not a
     // worker-pool spawn + join.
     plan_holm(platform, a, b, &c, true)?;
+    if mwp_msg::sched::sched_enabled() {
+        return crate::serving::run_via_server(platform, a, b, c, true, time_scale);
+    }
     with_session(platform, time_scale, |session| holm_on(session, a, b, c, true))
 }
 
@@ -152,6 +158,9 @@ pub fn run_all_workers(
     time_scale: f64,
 ) -> Result<RunOutcome, RuntimeError> {
     plan_holm(platform, a, b, &c, false)?;
+    if mwp_msg::sched::sched_enabled() {
+        return crate::serving::run_via_server(platform, a, b, c, false, time_scale);
+    }
     with_session(platform, time_scale, |session| holm_on(session, a, b, c, false))
 }
 
@@ -810,73 +819,139 @@ struct ResidentB {
     pack: PackedB,
 }
 
-/// Per-worker state that survives across a session's runs: recycled block
-/// storage, the chunk/row maps, and the B pack buffers, so a pooled
-/// worker serving its second run re-allocates nothing (as long as the
-/// block side is unchanged — a run with a different `q` resets the block
-/// scratch in place; pack buffers are shape-agnostic and stay warm across
-/// any `q` change).
-pub(crate) struct WorkerState {
-    /// Block side the scratch storage is sized for (0 = not yet sized).
+/// Resident state of one open run generation. A worker holds exactly one
+/// of these per interleaved run: the legacy exclusive path never opens
+/// more than one, while the serving tier ([`crate::serving`]) may open
+/// several job generations on the same worker at once.
+struct RunState {
+    /// Block side this run's resident blocks are sized for.
     q: usize,
     /// Resident C chunk, indexed by block row: c_rows[i] = [(j, block)].
     c_rows: BlockIndexMap<Vec<(usize, Block)>>,
     /// The current B row (block + prepack), indexed by block column.
     b_row: BlockIndexMap<ResidentB>,
+    /// Resident C blocks held — this run's term of the memory invariant.
+    c_count: usize,
+    /// The single in-flight A block of this run.
+    a_scratch: Block,
+}
+
+/// Per-worker state that survives across a session's runs: recycled block
+/// storage, retired per-run chunk/row maps, and the B pack buffers, so a
+/// pooled worker serving its second run re-allocates nothing (as long as
+/// the block side is unchanged — a run with a different `q` re-bases the
+/// block scratch; pack buffers are shape-agnostic and stay warm across
+/// any `q` change).
+pub(crate) struct WorkerState {
+    /// Block side the recycled scratch blocks are sized for (0 = unsized).
+    /// Blocks only recycle to/from runs of this side; a run with a
+    /// different `q` opening into an otherwise idle worker re-bases the
+    /// pool to its side.
+    spare_q: usize,
     /// Recycled block storage (scratch, not resident data).
     spare: Vec<Block>,
     /// Recycled pack buffers (high-water capacity kept across runs).
     spare_packs: Vec<PackedB>,
-    /// The single in-flight A block.
-    a_scratch: Block,
+    /// Retired [`RunState`]s — their warmed-up maps recycle across runs.
+    idle: Vec<RunState>,
+    /// The open run generations this worker is currently serving.
+    runs: HashMap<u32, RunState>,
 }
 
 impl WorkerState {
     pub(crate) fn new() -> Self {
         WorkerState {
-            q: 0,
-            c_rows: BlockIndexMap::default(),
-            b_row: BlockIndexMap::default(),
+            spare_q: 0,
             spare: Vec::new(),
             spare_packs: Vec::new(),
-            a_scratch: Block::zeros(1),
-            // a_scratch is a placeholder until the first run declares its
-            // block side.
+            idle: Vec::new(),
+            runs: HashMap::new(),
         }
     }
 
-    /// Prepare for a run with block side `q`: keep the warmed-up scratch
-    /// when the side matches, rebuild it in place when it does not (pack
-    /// buffers survive either way — a pack rewrites its buffer to any
-    /// shape). The chunk/row maps are drained by the end-of-run protocol,
-    /// but a defensive clear keeps an aborted run from leaking into the
-    /// next.
-    fn reset_for(&mut self, q: usize) {
-        let side_changed = self.q != q;
-        if side_changed {
-            self.q = q;
+    /// Open run generation `gen` with block side `q`, recycling a retired
+    /// [`RunState`] when one is warm. With no other run open, a `q`
+    /// change re-bases the recycled block pool to the new side (the
+    /// historical between-runs reset); while other runs are in flight the
+    /// pool keeps its side and mismatched runs simply allocate fresh.
+    ///
+    /// Panics if `gen` is already open — the master never reopens a live
+    /// generation, so a duplicate `RUN_BEGIN` means the session got
+    /// desynced (e.g. reused after a master panic mid-run).
+    fn open(&mut self, gen: u32, q: usize) {
+        if self.runs.is_empty() && self.spare_q != q {
+            self.spare_q = q;
             self.spare.clear();
-            self.a_scratch = Block::zeros(q);
         }
-        self.c_rows.clear();
-        for (_, resident) in self.b_row.drain() {
-            if !side_changed {
+        let mut st = self.idle.pop().unwrap_or_else(|| RunState {
+            q: 0,
+            c_rows: BlockIndexMap::default(),
+            b_row: BlockIndexMap::default(),
+            c_count: 0,
+            a_scratch: Block::zeros(1),
+        });
+        if st.q != q {
+            st.q = q;
+            st.a_scratch = Block::zeros(q);
+        }
+        // The retire path drains both maps; a defensive clear keeps a
+        // desynced run from leaking into this one.
+        st.c_rows.clear();
+        for (_, resident) in st.b_row.drain() {
+            self.spare_packs.push(resident.pack);
+        }
+        st.c_count = 0;
+        assert!(
+            self.runs.insert(gen, st).is_none(),
+            "RUN_BEGIN for generation {gen} which is already open: \
+             session reused after an aborted run"
+        );
+    }
+
+    /// Retire run generation `gen` (orderly end or abort — either way any
+    /// still-resident blocks are recycled; the master never commits a
+    /// partial chunk, so discarding them loses nothing). Returns how many
+    /// runs stay open.
+    fn close(&mut self, gen: u32) -> usize {
+        let mut st = self
+            .runs
+            .remove(&gen)
+            .unwrap_or_else(|| panic!("RUN_END/RUN_ABORT for unopened generation {gen}"));
+        let recycle_blocks = st.q == self.spare_q;
+        for (_, row) in st.c_rows.drain() {
+            if recycle_blocks {
+                self.spare.extend(row.into_iter().map(|(_, blk)| blk));
+            }
+        }
+        for (_, resident) in st.b_row.drain() {
+            if recycle_blocks {
                 self.spare.push(resident.block);
             }
             self.spare_packs.push(resident.pack);
         }
+        st.c_count = 0;
+        self.idle.push(st);
+        self.runs.len()
     }
 }
 
-/// Algorithm 2: the worker program, serving **one run** of a session.
+/// Algorithm 2: the worker program, serving **one wake** of a session —
+/// which may span several interleaved run generations.
 ///
-/// Holds the resident C chunk (indexed by block row, so an incoming `A`
-/// block touches exactly its row instead of scanning the whole chunk), the
-/// current `B` row, and applies each incoming `A` block to every column of
-/// the chunk. `Control` requests the chunk back; the `RUN_END` control
-/// sentinel parks the worker for the session's next run; `Shutdown` (or a
-/// dropped master) ends the thread. Asserts the memory invariant
-/// (`resident blocks ≤ m`) the paper's layout guarantees.
+/// Per open generation it holds the resident C chunk (indexed by block
+/// row, so an incoming `A` block touches exactly its row instead of
+/// scanning the whole chunk) and the current `B` row, and applies each
+/// incoming `A` block to every column of that generation's chunk. Every
+/// frame routes to its generation by the wire header's `run` field: the
+/// wake-up `RUN_BEGIN` opens the first generation, a further `RUN_BEGIN`
+/// arriving mid-serve opens another alongside it (the serving tier's
+/// interleaved job runs — see [`crate::serving`]), `Control` requests
+/// that generation's chunk back, and `RUN_END`/`RUN_ABORT` retire it.
+/// The worker parks only when its last open generation retires;
+/// `Shutdown` (or a dropped master) ends the thread. Asserts the memory
+/// invariant (`resident blocks ≤ m`, summed over the open generations)
+/// the paper's layout — and the serving tier's admission control —
+/// guarantees.
 ///
 /// The receive path is allocation-free at steady state: incoming payloads
 /// are copied into recycled scratch blocks (`state.spare` holds blocks
@@ -896,41 +971,52 @@ pub(crate) fn serve_run(
     memory_cap: usize,
     state: &mut WorkerState,
 ) -> RunExit {
-    // The block-update kernel and prepack mode, resolved per run from the
-    // cached dispatch table — block updates in the loop below never touch
-    // dispatch again.
+    // The block-update kernel and prepack mode, resolved per wake from
+    // the cached dispatch table — block updates in the loop below never
+    // touch dispatch again.
     let kernel = mwp_blockmat::kernel::active();
     let prepack = mwp_blockmat::kernel::prepack_enabled();
-    state.reset_for(q);
-    let WorkerState { c_rows, b_row, spare, spare_packs, a_scratch, .. } = state;
-    let mut c_count = 0usize;
-    let bb = q * q * 8;
+    // The generation that woke this worker: the outer loop consumed its
+    // RUN_BEGIN, whose header generation the endpoint adopted.
+    state.open(ep.current_run(), q);
     loop {
         let frame = match ep.recv() {
             Ok(f) => f,
             Err(_) => return RunExit::Terminate, // master gone
         };
+        let gen = frame.run;
         match frame.tag.kind {
             FrameKind::BlockC => {
                 // A run of chunk-row blocks: row i, columns j0, j0+1, …
+                let WorkerState { runs, spare, spare_q, .. } = &mut *state;
+                let run = runs
+                    .get_mut(&gen)
+                    .unwrap_or_else(|| panic!("C frame for unopened generation {gen}"));
+                let bb = run.q * run.q * 8;
                 let (i, j0) = (frame.tag.i as usize, frame.tag.j as usize);
                 for (w, part) in frame.payload.chunks_exact(bb).enumerate() {
-                    let mut blk = spare.pop().unwrap_or_else(|| Block::zeros(q));
+                    let mut blk = if run.q == *spare_q { spare.pop() } else { None }
+                        .unwrap_or_else(|| Block::zeros(run.q));
                     blk.copy_from_bytes(part);
-                    c_rows.entry(i).or_default().push((j0 + w, blk));
-                    c_count += 1;
+                    run.c_rows.entry(i).or_default().push((j0 + w, blk));
+                    run.c_count += 1;
                 }
             }
             FrameKind::BlockB => {
                 // A run of B row blocks for columns j0, j0+1, …; the step
-                // index k is implicit in FIFO order (each run overwrites
-                // the previous step's row). Every overwrite invalidates
-                // the old pack, so the block is repacked here, exactly
-                // once per arrival, and reused by all of this step's A
-                // blocks.
+                // index k is implicit in per-generation FIFO order (each
+                // step overwrites the previous step's row). Every
+                // overwrite invalidates the old pack, so the block is
+                // repacked here, exactly once per arrival, and reused by
+                // all of this step's A blocks.
+                let WorkerState { runs, spare, spare_packs, spare_q, .. } = &mut *state;
+                let run = runs
+                    .get_mut(&gen)
+                    .unwrap_or_else(|| panic!("B frame for unopened generation {gen}"));
+                let bb = run.q * run.q * 8;
                 let j0 = frame.tag.j as usize;
                 for (w, part) in frame.payload.chunks_exact(bb).enumerate() {
-                    match b_row.entry(j0 + w) {
+                    match run.b_row.entry(j0 + w) {
                         Entry::Occupied(mut e) => {
                             let resident = e.get_mut();
                             resident.block.copy_from_bytes(part);
@@ -939,7 +1025,8 @@ pub(crate) fn serve_run(
                             }
                         }
                         Entry::Vacant(v) => {
-                            let mut blk = spare.pop().unwrap_or_else(|| Block::zeros(q));
+                            let mut blk = if run.q == *spare_q { spare.pop() } else { None }
+                                .unwrap_or_else(|| Block::zeros(run.q));
                             blk.copy_from_bytes(part);
                             let mut pack = spare_packs.pop().unwrap_or_default();
                             if prepack {
@@ -954,8 +1041,14 @@ pub(crate) fn serve_run(
             }
             FrameKind::BlockA => {
                 // A run of A column blocks for rows i0, i0+1, …; each one
-                // updates its row of the resident chunk through the single
-                // reused scratch block: C[i][j] += A · B[j].
+                // updates its row of its generation's chunk through that
+                // generation's reused scratch block: C[i][j] += A · B[j].
+                let run = state
+                    .runs
+                    .get_mut(&gen)
+                    .unwrap_or_else(|| panic!("A frame for unopened generation {gen}"));
+                let bb = run.q * run.q * 8;
+                let RunState { c_rows, b_row, a_scratch, .. } = run;
                 let i0 = frame.tag.i as usize;
                 for (w, part) in frame.payload.chunks_exact(bb).enumerate() {
                     let Some(row) = c_rows.get_mut(&(i0 + w)) else { continue };
@@ -972,43 +1065,40 @@ pub(crate) fn serve_run(
                     }
                 }
             }
-            FrameKind::Control if frame.tag.i == RUN_END => {
-                // End of this run: park for the session's next one, scratch
-                // storage intact.
-                return RunExit::Completed;
-            }
-            FrameKind::Control if frame.tag.i == RUN_ABORT => {
-                // Cooperative abort: the master gave up on this run (its
-                // whole-run deadline elapsed). Discard the resident chunk —
-                // the master never mutates its C from a partial chunk, so
-                // nothing is lost — recycle the storage, and re-park for
-                // the session's next run.
-                for (_, row) in c_rows.drain() {
-                    spare.extend(row.into_iter().map(|(_, blk)| blk));
+            FrameKind::Control if frame.tag.i == RUN_END || frame.tag.i == RUN_ABORT => {
+                // Orderly end (chunk already returned and drained) or
+                // cooperative abort (the master gave up; it never commits
+                // a partial chunk, so discarding the residents loses
+                // nothing). Either way the generation retires and its
+                // storage recycles; park only once no generation is open.
+                if state.close(gen) == 0 {
+                    return RunExit::Completed;
                 }
-                for (_, resident) in b_row.drain() {
-                    spare.push(resident.block);
-                    spare_packs.push(resident.pack);
-                }
-                return RunExit::Completed;
             }
             FrameKind::Control if frame.tag.i == RUN_BEGIN => {
-                // A new run opened while this one never ended: the master
-                // aborted mid-run (panicked between begin and finish) and
-                // the session was reused anyway. Fail loudly — the resident
-                // state is stale and the result would be silently wrong.
-                // (The `MWP_RUNTIME=session` pool poisons-and-respawns on
-                // such panics; this guards directly-held sessions.)
-                panic!("RUN_BEGIN inside a run: session reused after an aborted run");
+                // Another run generation opens while this worker is
+                // already serving — the serving tier's interleaved job
+                // runs. Its frames carry their own generation, so the
+                // open runs never mix. (Reopening a generation that is
+                // still open panics in `open` — that is the historical
+                // "session reused after an aborted run" guard.)
+                state.open(gen, frame.tag.j as usize);
             }
             FrameKind::Control => {
-                // Return the chunk in deterministic (i, j) order — one run
-                // frame per chunk row, built in the endpoint's buffer pool
-                // — then recycle every resident block for the next chunk.
-                let mut rows: Vec<usize> = c_rows.keys().copied().collect();
+                // Return this generation's chunk in deterministic (i, j)
+                // order — one run frame per chunk row, built in the
+                // endpoint's buffer pool, stamped with the generation it
+                // belongs to — then recycle every resident block for the
+                // generation's next chunk.
+                let WorkerState { runs, spare, spare_packs, spare_q, .. } = &mut *state;
+                let run = runs
+                    .get_mut(&gen)
+                    .unwrap_or_else(|| panic!("collect for unopened generation {gen}"));
+                let bb = run.q * run.q * 8;
+                let mut rows: Vec<usize> = run.c_rows.keys().copied().collect();
                 rows.sort_unstable();
                 for i in rows {
-                    let mut row = c_rows.remove(&i).expect("row just listed");
+                    let mut row = run.c_rows.remove(&i).expect("row just listed");
                     row.sort_unstable_by_key(|(j, _)| *j);
                     let j0 = row.first().expect("rows are never empty").0;
                     let payload = ep.pooled_payload(row.len() * bb, |buf| {
@@ -1017,12 +1107,16 @@ pub(crate) fn serve_run(
                             block.write_bytes_into(buf);
                         }
                     });
-                    ep.send(Frame::new(Tag::new(FrameKind::CResult, i, j0), payload));
-                    c_count -= row.len();
-                    spare.extend(row.into_iter().map(|(_, blk)| blk));
+                    ep.send_in(gen, Frame::new(Tag::new(FrameKind::CResult, i, j0), payload));
+                    run.c_count -= row.len();
+                    if run.q == *spare_q {
+                        spare.extend(row.into_iter().map(|(_, blk)| blk));
+                    }
                 }
-                for (_, resident) in b_row.drain() {
-                    spare.push(resident.block);
+                for (_, resident) in run.b_row.drain() {
+                    if run.q == *spare_q {
+                        spare.push(resident.block);
+                    }
                     spare_packs.push(resident.pack);
                 }
             }
@@ -1033,14 +1127,16 @@ pub(crate) fn serve_run(
                 unreachable!("master never sends {:?}", frame.tag.kind)
             }
         }
-        // The paper's memory invariant: resident blocks never exceed m.
-        // (+1 for the A block in flight; `spare` holds recycled storage,
-        // not resident matrix data.)
+        // The paper's memory invariant: resident blocks never exceed m,
+        // now summed over every open generation (+1 per generation for
+        // its A block in flight; `spare` holds recycled storage, not
+        // resident matrix data). The serving tier's admission control
+        // keeps concurrent jobs under this bound by construction.
+        let resident: usize = state.runs.values().map(|r| r.c_count + r.b_row.len()).sum();
         assert!(
-            c_count + b_row.len() < memory_cap,
-            "worker exceeded its memory: {} + {} + 1 > {memory_cap}",
-            c_count,
-            b_row.len(),
+            resident + state.runs.len() <= memory_cap,
+            "worker exceeded its memory: {resident} resident + {} in-flight A > {memory_cap}",
+            state.runs.len(),
         );
     }
 }

@@ -322,6 +322,22 @@ impl RuntimeSession {
         self.inner.abort_run(enrolled, epoch)
     }
 
+    /// Open an interleaved **job run** on workers `0..enrolled` (see
+    /// [`Session::begin_job`] for the pre-stamping contract). Used by the
+    /// serving tier ([`crate::serving`]); job runs and legacy exclusive
+    /// runs must not mix on one session.
+    pub(crate) fn begin_job(&self, enrolled: usize, q: u32) -> mwp_msg::session::JobRun {
+        self.inner.begin_job(enrolled, q)
+    }
+
+    pub(crate) fn finish_job(&self, enrolled: usize, job: mwp_msg::session::JobRun) {
+        self.inner.finish_job(enrolled, job)
+    }
+
+    pub(crate) fn abort_job(&self, enrolled: usize, job: mwp_msg::session::JobRun) {
+        self.inner.abort_job(enrolled, job)
+    }
+
     /// How many previous-generation data frames the master's links have
     /// structurally rejected (see [`mwp_msg::stats::LinkSnapshot`]) —
     /// observably non-zero when a stale frame from an earlier run (e.g. a

@@ -29,10 +29,12 @@
 use mwp_blockmat::kernel::PackedB;
 use mwp_blockmat::lu::{lu_factor_in_place, trsm_left_unit_lower, trsm_right_upper, Dense};
 use mwp_blockmat::BlockMatrix;
+use mwp_msg::sched::{Completed, JobDone, JobExecutor, JobHandle, JobScheduler};
 use mwp_msg::session::{run_with_mode, serve_worker, RunExit, Session, SessionPool, RUN_ABORT, RUN_END};
 use mwp_msg::transport::{run_deadline, SERVICE_LU};
 use mwp_msg::{BufferPool, Frame, FrameKind, Tag, TransportListener, TransportMode, WorkerEndpoint};
 use mwp_platform::{Platform, WorkerId};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Operation codes carried in the frame tag's `i` field.
@@ -231,6 +233,90 @@ impl LuSession {
 /// Process-wide session cache for the `MWP_RUNTIME=session` mode.
 static POOL: SessionPool<LuSession> = SessionPool::new();
 
+/// One queued LU factorization for the serving tier.
+pub struct LuJob {
+    /// The (square) matrix to factor.
+    pub matrix: BlockMatrix,
+    /// Panel width in blocks.
+    pub mu_blocks: usize,
+}
+
+/// The LU serving executor: runs each queued job as one **exclusive**
+/// run of the shared session. LU's pivot chain makes a factorization
+/// inherently serial across its panels, so unlike the matrix-product
+/// serving tier there is nothing to interleave — the scheduler buys LU
+/// callers queueing from many threads and per-job metering, not
+/// concurrency (its completion reports carry `run_gen` 0 because the
+/// exclusive path never exposes its generation).
+struct LuExecutor {
+    session: LuSession,
+}
+
+impl JobExecutor<LuJob, LuRunOutcome> for LuExecutor {
+    fn execute(&self, jobs: Vec<LuJob>) -> Vec<JobDone<LuRunOutcome>> {
+        jobs.into_iter()
+            .map(|job| {
+                let out = self.session.run(&job.matrix, job.mu_blocks);
+                JobDone { blocks_moved: out.messages, run_gen: 0, result: out }
+            })
+            .collect()
+    }
+}
+
+/// A multi-caller LU factorization server over one shared fleet: a
+/// single-dispatcher [`JobScheduler`] in front of an [`LuSession`]. See
+/// the private `LuExecutor`'s note on why LU stays one-run-at-a-time.
+pub struct LuServer {
+    exec: Arc<LuExecutor>,
+    sched: JobScheduler<LuJob, LuRunOutcome>,
+}
+
+impl LuServer {
+    /// Spawn a fleet for `platform` and serve LU jobs over it.
+    pub fn new(platform: &Platform, time_scale: f64) -> Self {
+        Self::over(LuSession::new(platform, time_scale))
+    }
+
+    /// Serve jobs over an existing session. The server owns the session
+    /// outright; no other caller may drive runs on it.
+    pub fn over(session: LuSession) -> Self {
+        let exec = Arc::new(LuExecutor { session });
+        // One dispatcher: LU runs are exclusive (see `LuExecutor`).
+        let sched = JobScheduler::spawn(1, Arc::clone(&exec));
+        LuServer { exec, sched }
+    }
+
+    /// Queue one factorization; returns immediately with the handle.
+    /// Panics (before queueing) on malformed inputs, like [`run_lu`].
+    pub fn submit(&self, job: LuJob) -> JobHandle<LuRunOutcome> {
+        validate_lu(&job.matrix, job.mu_blocks);
+        self.sched.submit(job)
+    }
+
+    /// Submit and wait: the one-call serving path, with per-job metering.
+    pub fn run(&self, matrix: &BlockMatrix, mu_blocks: usize) -> Completed<LuRunOutcome> {
+        self.submit(LuJob { matrix: matrix.clone(), mu_blocks }).wait()
+    }
+
+    /// How many fleet workers are currently flagged dead (pool-health
+    /// gate for the `MWP_SCHED=on` routing).
+    pub fn dead_workers(&self) -> usize {
+        self.exec.session.dead_workers()
+    }
+
+    /// Drain the queue, stop the dispatcher, and shut the fleet down.
+    pub fn shutdown(self) {
+        let LuServer { exec, sched } = self;
+        sched.shutdown();
+        if let Ok(exec) = Arc::try_unwrap(exec) {
+            exec.session.shutdown();
+        }
+    }
+}
+
+/// Process-wide server cache for the `MWP_SCHED=on` routing.
+static SERVER_POOL: SessionPool<LuServer> = SessionPool::new();
+
 /// Factor `matrix` (square, block side `q`) in parallel with panel width
 /// `mu_blocks` blocks, over `platform` (first worker also handles pivot
 /// and panel phases). `time_scale` paces the links (0 = off).
@@ -247,6 +333,20 @@ pub fn run_lu(
     // Pre-flight: a bad call must panic here, before any worker pool is
     // spawned on its behalf.
     validate_lu(matrix, mu_blocks);
+    if mwp_msg::sched::sched_enabled() {
+        // Serve the call as one job of the process-wide LU server: same
+        // exclusive run, bit-identical factors, but concurrent callers
+        // queue instead of racing sessions.
+        return run_with_mode(
+            &SERVER_POOL,
+            platform,
+            time_scale,
+            || LuServer::new(platform, time_scale),
+            |server| server.dead_workers() == 0,
+            LuServer::shutdown,
+            |server| server.run(matrix, mu_blocks).result,
+        );
+    }
     run_with_mode(
         &POOL,
         platform,

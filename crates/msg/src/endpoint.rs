@@ -164,6 +164,59 @@ impl MasterEndpoint {
         }
     }
 
+    /// Register a live **job** generation on every link (see
+    /// [`crate::session::Session::begin_job`]): its data frames are
+    /// admitted concurrently with any other live generation, and its
+    /// pre-stamped outbound frames pass through unrewritten.
+    pub(crate) fn register_run(&self, run: u32) {
+        for link in &self.links {
+            link.register_run(run);
+        }
+    }
+
+    /// Retire a job generation on every link: stop admitting its data
+    /// frames and drop (counting as stale) anything still parked in its
+    /// demux queues.
+    pub(crate) fn deregister_run(&self, run: u32) {
+        for link in &self.links {
+            link.deregister_run(run);
+        }
+    }
+
+    /// Receive the next frame of job generation `run` from `from`, with
+    /// an optional wall-clock timeout. Frames of *other* live generations
+    /// pulled en route are routed to their own collectors instead of
+    /// being dropped — this is the per-generation demultiplexing that
+    /// replaces the run-exclusion lock for interleaved job runs. Same
+    /// port discipline as [`MasterEndpoint::recv_timeout`]: the wait
+    /// parks outside the port; the transfer is paid under it.
+    ///
+    /// `None` means timeout, worker death (closed link), or a link
+    /// already marked dead — in every case the caller should treat the
+    /// worker as gone for this exchange.
+    pub fn recv_run_timeout(
+        &self,
+        from: WorkerId,
+        run: u32,
+        blocks: u64,
+        timeout: Option<std::time::Duration>,
+    ) -> Option<(Frame, f64)> {
+        let frame = self.links[from.index()].recv_wait_run(run, timeout)?;
+        let _guard = self.port.acquire();
+        Some(self.links[from.index()].finish_recv(frame, blocks))
+    }
+
+    /// Receive a frame of job generation `run` from `from` under the
+    /// process-wide liveness deadline — the job-run counterpart of
+    /// [`MasterEndpoint::recv_deadline`], sharing its `None` contract.
+    pub fn recv_run_deadline(&self, from: WorkerId, run: u32, blocks: u64) -> Option<(Frame, f64)> {
+        if self.links[from.index()].is_dead() {
+            return None;
+        }
+        let timeout = crate::transport::liveness().map(|(_, deadline)| deadline);
+        self.recv_run_timeout(from, run, blocks, timeout)
+    }
+
     /// Total inbound data frames rejected by the run-generation check,
     /// summed over all links.
     pub fn stale_rejections(&self) -> u64 {
@@ -317,12 +370,29 @@ impl WorkerEndpoint {
         Ok(frame)
     }
 
+    /// The run generation most recently adopted from a `RUN_BEGIN` frame
+    /// (0 before the first run). Multi-run worker programs read this once
+    /// at entry to learn which generation woke them, then track
+    /// generations per frame.
+    pub fn current_run(&self) -> u32 {
+        self.current_run.load(Ordering::Acquire)
+    }
+
     /// Return a result frame to the master. Never blocks for bandwidth —
     /// the master pays the transfer cost when it pulls the frame. Like
     /// the channel route's send-to-a-dropped-master, a socket write
     /// failure is swallowed: the next `recv` will report the dead master.
-    pub fn send(&self, mut frame: Frame) {
-        frame.run = self.current_run.load(Ordering::Acquire);
+    pub fn send(&self, frame: Frame) {
+        self.send_in(self.current_run.load(Ordering::Acquire), frame);
+    }
+
+    /// Return a result frame stamped with an explicit run generation —
+    /// the primitive multi-run worker programs use when several job
+    /// generations are interleaved on this endpoint and the adopted
+    /// `current_run` (the *latest* `RUN_BEGIN` seen) may not be the run
+    /// this result belongs to.
+    pub fn send_in(&self, run: u32, mut frame: Frame) {
+        frame.run = run;
         match &self.route {
             Route::Channel(link) => link.send(frame),
             Route::Remote { writer, .. } => {

@@ -25,6 +25,13 @@
 //!   spawn once, park on blocking receives between `RUN_BEGIN`/`RUN_END`
 //!   delimited runs, and are shared process-wide through
 //!   [`session::SessionPool`] when `MWP_RUNTIME=session`,
+//! * [`sched`] — the multi-job serving tier (`MWP_SCHED=on`): a
+//!   [`sched::JobScheduler`] queues jobs from many caller threads and
+//!   dispatches each as its own interleaved **run generation** on one
+//!   shared session (`Session::begin_job`), with the master
+//!   demultiplexing replies per generation instead of holding the
+//!   run-exclusion lock, plus the small-job batching hooks
+//!   (`MWP_BATCH`) and the max-inflight knob (`MWP_INFLIGHT`),
 //! * [`transport`] — the socket backend (`MWP_TRANSPORT=tcp|uds`):
 //!   length-prefixed frames over TCP or Unix-domain sockets, so master
 //!   and workers can run as separate processes or hosts — the one-port
@@ -47,6 +54,7 @@ pub mod link;
 pub mod net;
 pub mod pool;
 pub mod port;
+pub mod sched;
 pub mod session;
 pub mod stats;
 pub mod transport;

@@ -8,10 +8,105 @@
 
 use crate::frame::Frame;
 use crate::stats::LinkStats;
-use crossbeam::channel::{unbounded, Receiver, RecvError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvError, RecvTimeoutError, Sender};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How many run generations a link can serve **concurrently**: one legacy
+/// slot (slot 0, the exclusive-run generation published by
+/// `MasterSide::set_current_run`) plus [`MAX_CONCURRENT_RUNS`] job
+/// slots for the multi-job serving layer (see [`crate::sched`]).
+pub const RUN_SLOTS: usize = 16;
+
+/// The job-run slots of the registry: every slot except the legacy one.
+/// This is the hard ceiling on `MWP_INFLIGHT`.
+pub const MAX_CONCURRENT_RUNS: usize = RUN_SLOTS - 1;
+
+/// The set of run generations a link currently serves: a fixed array of
+/// atomic slots (0 = free), so the per-frame admission check is a handful
+/// of relaxed loads — no lock on the data path.
+///
+/// Slot 0 is the **legacy** slot: the generation published by the
+/// session's exclusive `begin_run`/`finish_run` protocol (0 between
+/// runs). Slots 1.. hold the generations of interleaved **job runs**
+/// registered by the serving layer. A data frame is admitted when its
+/// generation matches *any* slot — which preserves the historical
+/// single-run behavior exactly (only slot 0 is ever non-free there).
+struct ActiveRuns {
+    slots: [AtomicU32; RUN_SLOTS],
+}
+
+impl ActiveRuns {
+    fn new() -> Self {
+        ActiveRuns { slots: std::array::from_fn(|_| AtomicU32::new(0)) }
+    }
+
+    /// The legacy (exclusive-run) generation; 0 between runs.
+    fn legacy(&self) -> u32 {
+        self.slots[0].load(Ordering::Acquire)
+    }
+
+    fn set_legacy(&self, run: u32) {
+        self.slots[0].store(run, Ordering::Release);
+    }
+
+    /// Claim a free job slot for `run`. Panics when every slot is taken —
+    /// the scheduler's inflight cap (`MWP_INFLIGHT` ≤
+    /// [`MAX_CONCURRENT_RUNS`]) makes that a bug, not a load condition.
+    fn register(&self, run: u32) {
+        assert_ne!(run, 0, "generation 0 is the between-runs sentinel");
+        for slot in &self.slots[1..] {
+            if slot.compare_exchange(0, run, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                return;
+            }
+        }
+        panic!("more than {MAX_CONCURRENT_RUNS} concurrent run generations on one link");
+    }
+
+    /// Release `run`'s job slot (no-op if it was never registered).
+    fn deregister(&self, run: u32) {
+        for slot in &self.slots[1..] {
+            if slot.compare_exchange(run, 0, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                return;
+            }
+        }
+    }
+
+    /// Whether `run` is one of the currently-served generations.
+    fn contains(&self, run: u32) -> bool {
+        self.slots.iter().any(|slot| slot.load(Ordering::Acquire) == run)
+    }
+}
+
+/// Per-generation inbound frame router for interleaved job runs.
+///
+/// Concurrent job drivers all receive from the same link channel; a frame
+/// pulled for generation `g1` may belong to `g2`. The demux gives each
+/// generation its own queue: one caller at a time (the *puller*) drains
+/// the channel, keeps frames of its own generation, stashes frames of
+/// other live generations for their collectors, and wakes the waiters.
+/// The legacy receive paths bypass this entirely — they are only safe
+/// while no job run is in flight, which the session layer guarantees.
+struct RunDemux {
+    queues: HashMap<u32, VecDeque<Frame>>,
+    /// Whether some thread currently owns the channel-draining role.
+    pulling: bool,
+}
+
+/// What one channel pull produced for a caller waiting on a generation.
+enum Pulled {
+    /// A frame this caller should consume (its generation, or control
+    /// traffic — which is never queued, it has no owning generation).
+    Mine(Frame),
+    /// An admissible frame of another live generation: stash it.
+    Other(Frame),
+    /// The deadline elapsed with no admissible frame.
+    TimedOut,
+    /// The channel closed (worker exit or pump death).
+    Closed,
+}
 
 /// Shared pacing configuration of the whole network.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,9 +225,11 @@ impl Link {
                 pacing: self.pacing,
                 stats: stats.clone(),
                 tx: self.to_worker_tx,
-                rx: self.to_master_rx,
+                rx: std::sync::Mutex::new(self.to_master_rx),
                 dead: Arc::new(AtomicBool::new(false)),
-                current_run: Arc::new(AtomicU32::new(0)),
+                runs: ActiveRuns::new(),
+                demux: std::sync::Mutex::new(RunDemux { queues: HashMap::new(), pulling: false }),
+                demux_cv: std::sync::Condvar::new(),
             },
             WorkerSide {
                 rx: self.to_worker_rx,
@@ -149,21 +246,33 @@ pub struct MasterSide {
     pacing: Pacing,
     stats: LinkStats,
     tx: Sender<Frame>,
-    rx: Receiver<Frame>,
+    /// The worker→master channel. Behind a mutex only because the shim's
+    /// receiver is not `Sync` and concurrent job collectors share this
+    /// side; actual access is already exclusive — the legacy paths are
+    /// single-receiver by contract, and the demux admits one puller at a
+    /// time.
+    rx: std::sync::Mutex<Receiver<Frame>>,
     /// Sticky liveness verdict for this link. Set by the failure-aware
     /// scheduling layer (deadline expiry, failed send) or by a socket
     /// link's in-pump when the stream dies; once dead, a link is never
     /// used again — a wedged worker that wakes up late must not be able
     /// to inject stale frames into a later exchange.
     dead: Arc<AtomicBool>,
-    /// The run generation this link is currently serving (0 = no run in
-    /// progress). Every outbound frame is stamped with it, and inbound
-    /// *data* frames carrying any other generation are structurally
-    /// rejected — counted in [`LinkStats`], never delivered, never
-    /// metered. This is the first-class defence the sticky-dead flag used
-    /// to approximate: even a frame from a link nobody marked dead cannot
-    /// cross a run boundary.
-    current_run: Arc<AtomicU32>,
+    /// The run generations this link is currently serving (all slots free
+    /// = no run in progress). An outbound frame still carrying the
+    /// unstamped sentinel 0 is stamped with the legacy (exclusive-run)
+    /// generation; frames pre-stamped by a job driver keep their
+    /// generation. Inbound *data* frames carrying a generation outside
+    /// the active set are structurally rejected — counted in
+    /// [`LinkStats`], never delivered, never metered. This is the
+    /// first-class defence the sticky-dead flag used to approximate: even
+    /// a frame from a link nobody marked dead cannot cross a run
+    /// boundary.
+    runs: ActiveRuns,
+    /// Inbound per-generation router for interleaved job runs; see
+    /// [`RunDemux`]. The legacy `recv*` paths read the channel directly.
+    demux: std::sync::Mutex<RunDemux>,
+    demux_cv: std::sync::Condvar,
 }
 
 impl MasterSide {
@@ -183,19 +292,42 @@ impl MasterSide {
         Arc::clone(&self.dead)
     }
 
-    /// Publish the run generation this link is serving. Called by the
-    /// session layer when a run begins (with the freshly bumped
-    /// generation) and when it ends or aborts (resetting to 0).
+    /// Publish the legacy (exclusive) run generation this link is
+    /// serving. Called by the session layer when a run begins (with the
+    /// freshly bumped generation) and when it ends or aborts (resetting
+    /// to 0).
     pub(crate) fn set_current_run(&self, run: u32) {
-        self.current_run.store(run, Ordering::Release);
+        self.runs.set_legacy(run);
     }
 
-    /// Admission check for an inbound frame: data frames must carry the
-    /// link's current run generation; control traffic always passes.
-    /// A rejected frame is counted and dropped *before* any metering or
-    /// pacing, so the communication-volume counters stay exact.
+    /// Register `run` as a live *job* generation: its data frames are
+    /// admitted alongside the legacy run's, and outbound frames
+    /// pre-stamped with it pass through unrewritten.
+    pub(crate) fn register_run(&self, run: u32) {
+        self.runs.register(run);
+    }
+
+    /// Retire job generation `run`: stop admitting its data frames and
+    /// drop anything still parked in its demux queue. Leftovers are
+    /// counted as stale rejections — an aborted run's stragglers stay
+    /// observable the same way the single-run path counted them.
+    pub(crate) fn deregister_run(&self, run: u32) {
+        self.runs.deregister(run);
+        let mut demux = self.demux.lock().expect("run demux poisoned");
+        if let Some(queue) = demux.queues.remove(&run) {
+            for _ in 0..queue.len() {
+                self.stats.record_stale_rejected();
+            }
+        }
+    }
+
+    /// Admission check for an inbound frame: data frames must carry one
+    /// of the link's active run generations; control traffic always
+    /// passes. A rejected frame is counted and dropped *before* any
+    /// metering or pacing, so the communication-volume counters stay
+    /// exact.
     fn admit(&self, frame: &Frame) -> bool {
-        if frame.tag.kind.is_block() && frame.run != self.current_run.load(Ordering::Acquire) {
+        if frame.tag.kind.is_block() && !self.runs.contains(frame.run) {
             self.stats.record_stale_rejected();
             return false;
         }
@@ -224,7 +356,9 @@ impl MasterSide {
         if self.is_dead() {
             return None;
         }
-        frame.run = self.current_run.load(Ordering::Acquire);
+        if frame.run == 0 {
+            frame.run = self.runs.legacy();
+        }
         let start = Instant::now();
         let cost = blocks as f64 * self.c;
         self.pacing.pace(cost);
@@ -240,7 +374,9 @@ impl MasterSide {
     }
 
     fn send_inner(&self, mut frame: Frame, blocks: u64, lossy: bool) -> f64 {
-        frame.run = self.current_run.load(Ordering::Acquire);
+        if frame.run == 0 {
+            frame.run = self.runs.legacy();
+        }
         let start = Instant::now();
         let cost = blocks as f64 * self.c;
         self.pacing.pace(cost);
@@ -260,9 +396,11 @@ impl MasterSide {
     /// already available. `None` when the channel is empty or closed.
     /// Stale-generation data frames are dropped and the next frame tried.
     pub fn try_recv(&self, blocks: u64) -> Option<(Frame, f64)> {
+        let rx = self.rx.lock().expect("link receiver poisoned");
         loop {
-            let frame = self.rx.try_recv().ok()?;
+            let frame = rx.try_recv().ok()?;
             if self.admit(&frame) {
+                drop(rx);
                 return Some(self.finish_recv(frame, blocks));
             }
         }
@@ -271,9 +409,11 @@ impl MasterSide {
     /// Paced receive; blocks until the worker produced a frame of the
     /// current run (stale-generation data frames are dropped en route).
     pub fn recv(&self, blocks: u64) -> Result<(Frame, f64), RecvError> {
+        let rx = self.rx.lock().expect("link receiver poisoned");
         loop {
-            let frame = self.rx.recv()?;
+            let frame = rx.recv()?;
             if self.admit(&frame) {
+                drop(rx);
                 return Ok(self.finish_recv(frame, blocks));
             }
         }
@@ -287,12 +427,102 @@ impl MasterSide {
     /// endpoint's case.
     pub fn recv_wait(&self, timeout: Duration) -> Option<Frame> {
         let deadline = Instant::now() + timeout;
+        let rx = self.rx.lock().expect("link receiver poisoned");
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            let frame = self.rx.recv_timeout(remaining).ok()?;
+            let frame = rx.recv_timeout(remaining).ok()?;
             if self.admit(&frame) {
                 return Some(frame);
             }
+        }
+    }
+
+    /// Phase 1 of a timed receive for one **job generation**: return the
+    /// next admissible frame stamped `run` (or control traffic), parking
+    /// on the channel without paying any transfer cost. Frames of *other*
+    /// live generations pulled en route are stashed in their demux queues
+    /// and their waiters woken. `None` when `timeout` elapses (or, with
+    /// `timeout == None`, only when the channel closes — worker death).
+    /// The caller settles the transfer with [`MasterSide::finish_recv`].
+    ///
+    /// Only one thread at a time drains the channel (the *puller*); the
+    /// rest wait on their queues. This keeps frame order per generation
+    /// exactly as the worker sent it.
+    pub fn recv_wait_run(&self, run: u32, timeout: Option<Duration>) -> Option<Frame> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut demux = self.demux.lock().expect("run demux poisoned");
+        loop {
+            if let Some(frame) = demux.queues.get_mut(&run).and_then(VecDeque::pop_front) {
+                return Some(frame);
+            }
+            if demux.pulling {
+                // Someone else owns the channel; wait for them to stash a
+                // frame for us or release the puller role.
+                demux = match deadline {
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return None;
+                        }
+                        self.demux_cv
+                            .wait_timeout(demux, d - now)
+                            .expect("run demux poisoned")
+                            .0
+                    }
+                    None => self.demux_cv.wait(demux).expect("run demux poisoned"),
+                };
+                continue;
+            }
+            demux.pulling = true;
+            drop(demux);
+            let pulled = self.pull_admissible(run, deadline);
+            demux = self.demux.lock().expect("run demux poisoned");
+            demux.pulling = false;
+            // Wake everyone: a stashed frame may be theirs, and at least
+            // one waiter must take over the puller role.
+            self.demux_cv.notify_all();
+            match pulled {
+                Pulled::Mine(frame) => return Some(frame),
+                Pulled::Other(frame) => {
+                    demux.queues.entry(frame.run).or_default().push_back(frame);
+                }
+                Pulled::TimedOut | Pulled::Closed => return None,
+            }
+        }
+    }
+
+    /// Drain the channel until one admissible frame surfaces, classifying
+    /// it for the caller waiting on generation `run`. Runs *outside* the
+    /// demux lock so stashing waiters can drain their queues meanwhile.
+    fn pull_admissible(&self, run: u32, deadline: Option<Instant>) -> Pulled {
+        let rx = self.rx.lock().expect("link receiver poisoned");
+        loop {
+            let frame = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Pulled::TimedOut;
+                    }
+                    match rx.recv_timeout(d - now) {
+                        Ok(frame) => frame,
+                        Err(RecvTimeoutError::Timeout) => return Pulled::TimedOut,
+                        Err(RecvTimeoutError::Disconnected) => return Pulled::Closed,
+                    }
+                }
+                None => match rx.recv() {
+                    Ok(frame) => frame,
+                    Err(RecvError) => return Pulled::Closed,
+                },
+            };
+            if !self.admit(&frame) {
+                continue;
+            }
+            // Control traffic has no owning generation and matrix workers
+            // never send it unsolicited: hand it to whoever pulled it.
+            if frame.run == run || !frame.tag.kind.is_block() {
+                return Pulled::Mine(frame);
+            }
+            return Pulled::Other(frame);
         }
     }
 
@@ -423,6 +653,112 @@ mod tests {
         worker.send(late);
         assert!(master.recv_wait(Duration::from_millis(20)).is_none());
         assert_eq!(master.stats().snapshot().stale_rejected, 2);
+    }
+
+    #[test]
+    fn registered_job_generations_are_admitted_and_prestamps_survive() {
+        let (master, worker) = Link::new(1.0, Pacing::OFF).split();
+        master.register_run(7);
+        master.register_run(9);
+
+        // A frame pre-stamped with a job generation keeps its stamp even
+        // while the legacy slot is parked at 0.
+        let mut out = blk(FrameKind::BlockA, 1, 2);
+        out.run = 7;
+        master.send(out, 1);
+        assert_eq!(worker.recv().unwrap().run, 7);
+
+        // Data frames of either live generation are admitted; an alien
+        // generation is rejected and counted.
+        for (run, expect_i) in [(9u32, 5usize), (7, 6)] {
+            let mut f = blk(FrameKind::CResult, expect_i, 0);
+            f.run = run;
+            worker.send(f);
+        }
+        let mut alien = blk(FrameKind::CResult, 8, 8);
+        alien.run = 42;
+        worker.send(alien);
+        assert_eq!(master.recv(1).unwrap().0.tag.i, 5);
+        assert_eq!(master.recv(1).unwrap().0.tag.i, 6);
+        assert!(master.try_recv(1).is_none());
+        assert_eq!(master.stats().snapshot().stale_rejected, 1);
+
+        // After deregistering, generation 7 is stale again.
+        master.deregister_run(7);
+        let mut late = blk(FrameKind::CResult, 3, 3);
+        late.run = 7;
+        worker.send(late);
+        assert!(master.try_recv(1).is_none());
+        assert_eq!(master.stats().snapshot().stale_rejected, 2);
+    }
+
+    #[test]
+    fn recv_wait_run_routes_frames_to_their_generation() {
+        let (master, worker) = Link::new(1.0, Pacing::OFF).split();
+        master.register_run(11);
+        master.register_run(12);
+
+        // Interleave frames of two generations; each collector must see
+        // only its own, in the order the worker sent them.
+        for (run, i) in [(12u32, 0usize), (11, 1), (12, 2), (11, 3)] {
+            let mut f = blk(FrameKind::CResult, i, 0);
+            f.run = run;
+            worker.send(f);
+        }
+        let t = Duration::from_secs(5);
+        // The gen-11 collector pulls first: it must skip (stash) the
+        // gen-12 frames without dropping them.
+        assert_eq!(master.recv_wait_run(11, Some(t)).unwrap().tag.i, 1);
+        assert_eq!(master.recv_wait_run(11, Some(t)).unwrap().tag.i, 3);
+        assert_eq!(master.recv_wait_run(12, Some(t)).unwrap().tag.i, 0);
+        assert_eq!(master.recv_wait_run(12, Some(t)).unwrap().tag.i, 2);
+        assert_eq!(master.stats().snapshot().stale_rejected, 0);
+
+        // Timeout with nothing pending.
+        assert!(master.recv_wait_run(11, Some(Duration::from_millis(10))).is_none());
+
+        // Retiring a generation drops and counts its stashed leftovers.
+        let mut leftover = blk(FrameKind::CResult, 9, 0);
+        leftover.run = 12;
+        worker.send(leftover);
+        assert!(master.recv_wait_run(11, Some(Duration::from_millis(10))).is_none());
+        master.deregister_run(12);
+        assert_eq!(master.stats().snapshot().stale_rejected, 1);
+    }
+
+    #[test]
+    fn concurrent_collectors_each_get_their_own_frames() {
+        let (master, worker) = Link::new(1.0, Pacing::OFF).split();
+        master.register_run(21);
+        master.register_run(22);
+        let master = Arc::new(master);
+        let handles: Vec<_> = [21u32, 22]
+            .into_iter()
+            .map(|run| {
+                let m = Arc::clone(&master);
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    for _ in 0..50 {
+                        let f = m.recv_wait_run(run, Some(Duration::from_secs(10))).unwrap();
+                        assert_eq!(f.run, run);
+                        seen.push(f.tag.i);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        for i in 0..50 {
+            for run in [21u32, 22] {
+                let mut f = blk(FrameKind::CResult, i, 0);
+                f.run = run;
+                worker.send(f);
+            }
+        }
+        for h in handles {
+            let seen = h.join().unwrap();
+            // Per-generation order is exactly the send order.
+            assert_eq!(seen, (0..50).map(|i| i as u32).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -76,6 +76,24 @@ pub struct RunEpoch<'s> {
     _exclusive: parking_lot::MutexGuard<'s, ()>,
 }
 
+/// Receipt for an open **job run** (see [`Session::begin_job`]): an
+/// interleaved run identified purely by its generation, with no
+/// exclusion lock — several may be in flight on one session at once.
+/// Pass it back to [`Session::finish_job`] or [`Session::abort_job`] to
+/// retire the generation.
+#[must_use = "pass the job back to finish_job/abort_job to retire its generation"]
+#[derive(Debug)]
+pub struct JobRun {
+    run: u32,
+}
+
+impl JobRun {
+    /// The run generation this job's frames are stamped with.
+    pub fn generation(&self) -> u32 {
+        self.run
+    }
+}
+
 /// A star network whose worker threads are spawned once and reused for an
 /// unbounded sequence of runs (one at a time — concurrent callers
 /// serialize on [`Session::begin_run`]).
@@ -433,9 +451,8 @@ impl Session {
         // Bump the run generation and publish it to every link *before*
         // the RUN_BEGIN frames go out, so the begin frame itself is
         // stamped with the generation it opens — that is how workers
-        // learn it. (At u32::MAX the counter would wrap to the reserved
-        // "no run" value 0; a session never lives that many runs.)
-        let run = self.run_gen.fetch_add(1, Ordering::Relaxed) + 1;
+        // learn it.
+        let run = self.next_run_gen();
         self.master.set_run(run);
         let blocks_at_start = self.master.total_blocks();
         for idx in 0..enrolled {
@@ -474,6 +491,87 @@ impl Session {
         let moved = self.master.total_blocks() - epoch.blocks_at_start;
         self.master.set_run(0);
         moved
+    }
+
+    /// Draw the next run generation, skipping the reserved "no run"
+    /// value 0 on wraparound: a long-lived serving session that crosses
+    /// 2³² runs must not stamp generation 0 — every one of that run's
+    /// data frames would be structurally rejected as "between runs".
+    fn next_run_gen(&self) -> u32 {
+        loop {
+            let run = self.run_gen.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+            if run != 0 {
+                return run;
+            }
+        }
+    }
+
+    /// Set the run-generation counter (the **next** run gets `value + 1`,
+    /// modulo the skip-0 rule). A hook for wraparound tests and for
+    /// serving layers that checkpoint/restore a long-lived session; never
+    /// call it while a run or job is in flight.
+    pub fn force_run_gen(&self, value: u32) {
+        self.run_gen.store(value, Ordering::Relaxed);
+    }
+
+    /// Open a **job run** on workers `0..enrolled`: like
+    /// [`Session::begin_run`] but *without* taking the run-exclusion lock
+    /// — the run's generation is registered at every link alongside any
+    /// other live job generations, so several jobs interleave their
+    /// frames on the same links and the master demultiplexes replies by
+    /// the header's `run` field ([`MasterEndpoint::recv_run_timeout`]).
+    ///
+    /// The caller contract replaces the lock: every frame the job's
+    /// driver sends must be pre-stamped with [`JobRun::generation`] (the
+    /// link stamps only unstamped frames, with the *legacy* generation),
+    /// receives must go through the `recv_run_*` demux paths, and worker
+    /// programs must be multi-run aware (track state per generation,
+    /// reply via [`WorkerEndpoint::send_in`]). Legacy exclusive runs and
+    /// job runs must not be mixed on one session — the serving layer
+    /// owns its session outright.
+    ///
+    /// At most [`crate::link::MAX_CONCURRENT_RUNS`] job runs may be open
+    /// at once; the scheduler's admission cap enforces this.
+    pub fn begin_job(&self, enrolled: usize, param: u32) -> JobRun {
+        let run = self.next_run_gen();
+        // Register before the RUN_BEGIN goes out: the begin frame itself
+        // carries the generation (that is how workers learn it), and the
+        // first replies may race the registration otherwise.
+        self.master.register_run(run);
+        for idx in 0..enrolled {
+            let mut begin = run_begin_frame(param);
+            begin.run = run;
+            self.master.send_lossy(WorkerId(idx), begin);
+        }
+        JobRun { run }
+    }
+
+    /// Close the job run opened by the matching [`Session::begin_job`]:
+    /// `RUN_END` (stamped with the job's generation) to the enrolled
+    /// workers, then the generation is retired — its data frames are
+    /// stale again, and anything still parked in the demux queues is
+    /// dropped and counted as rejected.
+    pub fn finish_job(&self, enrolled: usize, job: JobRun) {
+        for idx in 0..enrolled {
+            let mut end = run_end_frame();
+            end.run = job.run;
+            self.master.send_lossy(WorkerId(idx), end);
+        }
+        self.master.deregister_run(job.run);
+    }
+
+    /// Abort the job run opened by the matching [`Session::begin_job`]:
+    /// the generation-stamped counterpart of [`Session::abort_run`] —
+    /// per-link FIFO makes the `RUN_ABORT` the last frame of this job a
+    /// worker sees, so it discards that generation's state and keeps
+    /// serving any other in-flight job untouched.
+    pub fn abort_job(&self, enrolled: usize, job: JobRun) {
+        for idx in 0..enrolled {
+            let mut abort = run_abort_frame();
+            abort.run = job.run;
+            self.master.send_lossy(WorkerId(idx), abort);
+        }
+        self.master.deregister_run(job.run);
     }
 
     /// Total inbound data frames this session's links rejected for
@@ -1282,6 +1380,147 @@ mod tests {
         assert_eq!(w0.join().unwrap(), Ok(1));
         assert_eq!(w1.join().unwrap(), Ok(2));
         assert_eq!(w2.join().unwrap(), Ok(3), "the newcomer's welcome carries the new epoch");
+    }
+
+    #[test]
+    fn run_generation_skips_zero_on_wrap() {
+        // A session whose counter sits just below u32::MAX must never
+        // stamp the reserved "no run" generation 0: the wrapped run
+        // would have every data frame structurally rejected.
+        let session = echo_session(1);
+        session.force_run_gen(u32::MAX - 1);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let epoch = session.begin_run(1, 0);
+            session.master().send(
+                WorkerId(0),
+                Frame::new(Tag::new(FrameKind::BlockA, 0, 0), Bytes::from_static(b"x")),
+                1,
+            );
+            let (frame, _) = session.master().recv(WorkerId(0), 1).unwrap();
+            assert_ne!(frame.run, 0, "generation 0 must be skipped on wrap");
+            seen.push(frame.run);
+            session.finish_run(1, epoch);
+        }
+        assert_eq!(seen, vec![u32::MAX, 1, 2]);
+        assert_eq!(session.stale_rejections(), 0, "no frame was lost to the wrap");
+        assert_eq!(session.shutdown(), 1);
+    }
+
+    /// A run-generation-aware echo: replies are stamped with the
+    /// generation of the frame they answer (not the latest adopted one),
+    /// and the program returns to park only when every generation it saw
+    /// open has ended — the multi-run shape job-serving worker programs
+    /// must have.
+    fn job_echo_program(_param: u32, ep: &WorkerEndpoint) -> RunExit {
+        let mut open = vec![ep.current_run()];
+        loop {
+            let frame = match ep.recv() {
+                Ok(f) => f,
+                Err(_) => return RunExit::Terminate,
+            };
+            match frame.tag.kind {
+                FrameKind::Shutdown => return RunExit::Terminate,
+                FrameKind::Control if frame.tag.i == RUN_BEGIN => open.push(frame.run),
+                FrameKind::Control if frame.tag.i == RUN_END || frame.tag.i == RUN_ABORT => {
+                    open.retain(|&g| g != frame.run);
+                    if open.is_empty() {
+                        return RunExit::Completed;
+                    }
+                }
+                _ => ep.send_in(
+                    frame.run,
+                    Frame::new(
+                        Tag::new(FrameKind::CResult, frame.tag.i as usize, 0),
+                        frame.payload,
+                    ),
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_job_runs_interleave_on_one_session() {
+        let platform = Platform::homogeneous(1, 1.0, 1.0, 8).unwrap();
+        let session = Session::spawn(&platform, 0.0, |_, _| job_echo_program);
+
+        // Two jobs in flight at once on the same worker link.
+        let job_a = session.begin_job(1, 7);
+        let job_b = session.begin_job(1, 8);
+        let (ga, gb) = (job_a.generation(), job_b.generation());
+        assert_ne!(ga, gb);
+
+        // Interleave the jobs' frames on the wire, pre-stamped with
+        // their generations.
+        for (run, i) in [(ga, 1usize), (gb, 2), (ga, 3), (gb, 4)] {
+            let mut f = Frame::new(Tag::new(FrameKind::BlockA, i, 0), Bytes::from_static(b"x"));
+            f.run = run;
+            session.master().send(WorkerId(0), f, 1);
+        }
+
+        // Collect job B first: its collector must stash job A's replies
+        // for job A instead of dropping them.
+        let t = Some(std::time::Duration::from_secs(10));
+        let mut b_seen = Vec::new();
+        for _ in 0..2 {
+            let (f, _) = session.master().recv_run_timeout(WorkerId(0), gb, 1, t).unwrap();
+            assert_eq!(f.run, gb);
+            b_seen.push(f.tag.i);
+        }
+        assert_eq!(b_seen, vec![2, 4]);
+        let mut a_seen = Vec::new();
+        for _ in 0..2 {
+            let (f, _) = session.master().recv_run_timeout(WorkerId(0), ga, 1, t).unwrap();
+            assert_eq!(f.run, ga);
+            a_seen.push(f.tag.i);
+        }
+        assert_eq!(a_seen, vec![1, 3]);
+
+        session.finish_job(1, job_a);
+        session.finish_job(1, job_b);
+        assert_eq!(session.stale_rejections(), 0, "no interleaved frame was dropped");
+
+        // The session still serves a legacy exclusive run afterwards.
+        let epoch = session.begin_run(1, 9);
+        session.master().send(
+            WorkerId(0),
+            Frame::new(Tag::new(FrameKind::BlockA, 5, 0), Bytes::from_static(b"y")),
+            1,
+        );
+        let (f, _) = session.master().recv(WorkerId(0), 1).unwrap();
+        assert_eq!(f.tag.i, 5);
+        session.finish_run(1, epoch);
+        assert_eq!(session.shutdown(), 1);
+    }
+
+    #[test]
+    fn aborted_job_leaves_other_jobs_running() {
+        let platform = Platform::homogeneous(1, 1.0, 1.0, 8).unwrap();
+        let session = Session::spawn(&platform, 0.0, |_, _| job_echo_program);
+
+        let job_a = session.begin_job(1, 1);
+        let job_b = session.begin_job(1, 2);
+        let (ga, gb) = (job_a.generation(), job_b.generation());
+
+        // Job A sends a frame whose echo is never collected, then aborts.
+        let mut f = Frame::new(Tag::new(FrameKind::BlockA, 1, 0), Bytes::from_static(b"x"));
+        f.run = ga;
+        session.master().send(WorkerId(0), f, 1);
+        session.abort_job(1, job_a);
+
+        // Job B is untouched: its exchange completes bit-for-bit.
+        let mut f = Frame::new(Tag::new(FrameKind::BlockA, 2, 0), Bytes::from_static(b"y"));
+        f.run = gb;
+        session.master().send(WorkerId(0), f, 1);
+        let t = Some(std::time::Duration::from_secs(10));
+        let (echo, _) = session.master().recv_run_timeout(WorkerId(0), gb, 1, t).unwrap();
+        assert_eq!(echo.tag.i, 2);
+        session.finish_job(1, job_b);
+
+        // Job A's orphaned echo was either retired from the demux queue
+        // or rejected at admission — counted either way.
+        assert!(session.stale_rejections() >= 1);
+        assert_eq!(session.shutdown(), 1);
     }
 
     #[test]
