@@ -34,6 +34,7 @@ use mwp_msg::session::{RunExit, RUN_ABORT, RUN_BEGIN, RUN_END};
 use mwp_msg::transport::run_deadline;
 use mwp_msg::{Frame, FrameKind, Tag, WorkerEndpoint};
 use mwp_platform::{Platform, WorkerId};
+use mwp_trace::{record, Activity, ActivityKind, Resource, SimTime};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -965,6 +966,34 @@ impl WorkerState {
 /// pure waste). Pack buffers are recycled alongside the scratch blocks,
 /// so a pooled session keeps them warm across runs. `MWP_PACK=off`
 /// disables the prepack (per-call packing, for A/B timing).
+/// Trace timestamp taken only when a sink is live (`MWP_TRACE=off` costs
+/// one atomic check here and nothing downstream).
+#[inline]
+fn trace_begin() -> Option<SimTime> {
+    record::enabled().then(record::now)
+}
+
+/// Close a worker-side span opened at `t0`: `Compute` spans land on the
+/// worker's occupancy track, `Pack`/`Kernel` detail spans on its detail
+/// track (they subdivide the enclosing compute span, so they must not
+/// compete with it for per-resource exclusivity).
+fn trace_worker_span(
+    w: WorkerId,
+    kind: ActivityKind,
+    t0: Option<SimTime>,
+    run: u32,
+    label: &'static str,
+) {
+    let Some(t0) = t0 else { return };
+    let resource = match kind {
+        ActivityKind::Compute => Resource::Worker(w),
+        _ => Resource::WorkerDetail(w),
+    };
+    record::record(
+        Activity::new(resource, kind, w, t0, record::now(), label.into()).with_run(run),
+    );
+}
+
 pub(crate) fn serve_run(
     ep: &WorkerEndpoint,
     q: usize,
@@ -1021,7 +1050,9 @@ pub(crate) fn serve_run(
                             let resident = e.get_mut();
                             resident.block.copy_from_bytes(part);
                             if prepack {
+                                let tp = trace_begin();
                                 resident.block.pack_b_for(kernel, &mut resident.pack);
+                                trace_worker_span(ep.id(), ActivityKind::Pack, tp, gen, "pack B");
                             }
                         }
                         Entry::Vacant(v) => {
@@ -1030,7 +1061,9 @@ pub(crate) fn serve_run(
                             blk.copy_from_bytes(part);
                             let mut pack = spare_packs.pop().unwrap_or_default();
                             if prepack {
+                                let tp = trace_begin();
                                 blk.pack_b_for(kernel, &mut pack);
+                                trace_worker_span(ep.id(), ActivityKind::Pack, tp, gen, "pack B");
                             } else {
                                 pack.clear();
                             }
@@ -1052,17 +1085,24 @@ pub(crate) fn serve_run(
                 let i0 = frame.tag.i as usize;
                 for (w, part) in frame.payload.chunks_exact(bb).enumerate() {
                     let Some(row) = c_rows.get_mut(&(i0 + w)) else { continue };
+                    // One Compute span per processed A block (the
+                    // simulator's unit of worker occupancy), with one
+                    // Kernel detail span per GEMM call inside it.
+                    let tc = trace_begin();
                     a_scratch.copy_from_bytes(part);
                     for (cj, c_block) in row.iter_mut() {
                         let resident = b_row
                             .get(cj)
                             .expect("B row must arrive before the A column (FIFO)");
+                        let tk = trace_begin();
                         if prepack {
                             c_block.gemm_acc_prepacked(kernel, a_scratch, &resident.pack);
                         } else {
                             c_block.gemm_acc_with(kernel, a_scratch, &resident.block);
                         }
+                        trace_worker_span(ep.id(), ActivityKind::Kernel, tk, gen, "gemm");
                     }
+                    trace_worker_span(ep.id(), ActivityKind::Compute, tc, gen, "A update");
                 }
             }
             FrameKind::Control if frame.tag.i == RUN_END || frame.tag.i == RUN_ABORT => {
@@ -1072,6 +1112,10 @@ pub(crate) fn serve_run(
                 // nothing). Either way the generation retires and its
                 // storage recycles; park only once no generation is open.
                 if state.close(gen) == 0 {
+                    // Run boundary: persist this process's spans — for an
+                    // out-of-process worker nobody else will (the
+                    // master's session-side flush is a different process).
+                    record::flush();
                     return RunExit::Completed;
                 }
             }
@@ -1120,7 +1164,12 @@ pub(crate) fn serve_run(
                     spare_packs.push(resident.pack);
                 }
             }
-            FrameKind::Shutdown => return RunExit::Terminate,
+            FrameKind::Shutdown => {
+                // The worker process may exit right after this returns:
+                // wait for the writer thread, don't just hand off.
+                record::sync();
+                return RunExit::Terminate;
+            }
             FrameKind::CResult | FrameKind::LuPanel | FrameKind::Heartbeat => {
                 // Heartbeats are swallowed inside `WorkerEndpoint::recv`
                 // before a program ever sees a frame.

@@ -34,6 +34,7 @@ use mwp_msg::session::{run_with_mode, serve_worker, RunExit, Session, SessionPoo
 use mwp_msg::transport::{run_deadline, SERVICE_LU};
 use mwp_msg::{BufferPool, Frame, FrameKind, Tag, TransportListener, TransportMode, WorkerEndpoint};
 use mwp_platform::{Platform, WorkerId};
+use mwp_trace::{record, Activity, ActivityKind, Resource};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -606,6 +607,10 @@ fn serve_lu_run(ep: &WorkerEndpoint, horiz_pack: &mut PackedB) -> RunExit {
             _ => {}
         }
         debug_assert_eq!(frame.tag.kind, FrameKind::LuPanel);
+        // One Compute span per LU op served (the worker's occupancy unit,
+        // matching the sim's per-task granularity); the once-per-step
+        // panel pack gets its own detail span below.
+        let tc = record::enabled().then(record::now);
         let parts = decode_parts(&frame.payload);
         let result = match frame.tag.i as usize {
             OP_FACTOR => {
@@ -633,7 +638,21 @@ fn serve_lu_run(ep: &WorkerEndpoint, horiz_pack: &mut PackedB) -> RunExit {
                 // group of the step (the pack snapshot stays valid until
                 // the next step's install overwrites the panel).
                 if prepack {
+                    let tp = record::enabled().then(record::now);
                     panel.pack_sub_mul_for(kernel, horiz_pack);
+                    if let Some(tp) = tp {
+                        record::record(
+                            Activity::new(
+                                Resource::WorkerDetail(ep.id()),
+                                ActivityKind::Pack,
+                                ep.id(),
+                                tp,
+                                record::now(),
+                                "pack panel".into(),
+                            )
+                            .with_run(frame.run),
+                        );
+                    }
                 }
                 horiz = Some(panel);
                 continue; // stateful install: nothing to send back
@@ -654,6 +673,19 @@ fn serve_lu_run(ep: &WorkerEndpoint, horiz_pack: &mut PackedB) -> RunExit {
             }
             op => unreachable!("unknown LU op {op}"),
         };
+        if let Some(tc) = tc {
+            record::record(
+                Activity::new(
+                    Resource::Worker(ep.id()),
+                    ActivityKind::Compute,
+                    ep.id(),
+                    tc,
+                    record::now(),
+                    "LU op".into(),
+                )
+                .with_run(frame.run),
+            );
+        }
         let payload =
             ep.pooled_payload(parts_len(&[&result]), |buf| encode_parts_into(&[&result], buf));
         ep.send(Frame::new(

@@ -9,7 +9,71 @@ use crate::stats::LinkSnapshot;
 use bytes::Bytes;
 use crossbeam::channel::RecvError;
 use mwp_platform::WorkerId;
+use mwp_trace::{record, Activity, ActivityKind, Resource, SimTime};
 use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Fixed trace label for a frame kind (no allocation on the hot path).
+fn kind_label(k: FrameKind) -> &'static str {
+    match k {
+        FrameKind::BlockA => "A",
+        FrameKind::BlockB => "B",
+        FrameKind::BlockC => "C",
+        FrameKind::CResult => "C result",
+        FrameKind::LuPanel => "LU panel",
+        FrameKind::Control => "control",
+        FrameKind::Shutdown => "shutdown",
+        FrameKind::Heartbeat => "heartbeat",
+    }
+}
+
+/// Trace timestamp taken only when some sink is live — the whole
+/// instrumentation layer hangs off this `Option`, so `MWP_TRACE=off`
+/// costs one relaxed atomic check and nothing else.
+#[inline]
+fn trace_start() -> Option<SimTime> {
+    record::enabled().then(record::now)
+}
+
+/// Record one master-port operation: a `Wait` span for the time spent
+/// blocked before the transfer (port arbitration, and for timed receives
+/// the park until the frame arrived), then the `Send`/`Recv` transfer
+/// span `[t1, now]` carrying payload bytes (block frames only) and the
+/// run generation tag.
+fn trace_port_op(
+    kind: ActivityKind,
+    peer: WorkerId,
+    t0: SimTime,
+    t1: SimTime,
+    frame_kind: FrameKind,
+    run: u32,
+    payload_len: usize,
+) {
+    let end = record::now();
+    let label = kind_label(frame_kind);
+    if t1 > t0 {
+        record::record(
+            Activity::new(
+                Resource::MasterPort,
+                ActivityKind::Wait,
+                peer,
+                t0,
+                t1,
+                label.into(),
+            )
+            .with_run(run),
+        );
+    }
+    let bytes = if frame_kind.is_block() {
+        payload_len as u64
+    } else {
+        0
+    };
+    record::record(
+        Activity::new(Resource::MasterPort, kind, peer, t1, end, label.into())
+            .with_bytes(bytes)
+            .with_run(run),
+    );
+}
 
 /// The master's communication handle.
 ///
@@ -36,8 +100,17 @@ impl MasterEndpoint {
     /// Send `frame` (counted as `blocks` blocks) to `to`, holding the port
     /// for the paced duration. Returns the model-time cost `blocks · c_to`.
     pub fn send(&self, to: WorkerId, frame: Frame, blocks: u64) -> f64 {
+        let pre = trace_start().map(|t0| {
+            let link = &self.links[to.index()];
+            (t0, frame.tag.kind, link.effective_run(frame.run), frame.payload.len())
+        });
         let _guard = self.port.acquire();
-        self.links[to.index()].send(frame, blocks)
+        let t1 = pre.as_ref().map(|_| record::now());
+        let cost = self.links[to.index()].send(frame, blocks);
+        if let (Some((t0, fk, run, len)), Some(t1)) = (pre, t1) {
+            trace_port_op(ActivityKind::Send, to, t0, t1, fk, run, len);
+        }
+        cost
     }
 
     /// Receive a frame from `from` (counted as `blocks` blocks). Blocks the
@@ -53,8 +126,22 @@ impl MasterEndpoint {
         // paper's algorithms the master only posts a receive when the
         // worker is (about to be) done, and Algorithm 3 explicitly bills
         // waiting time to the port timeline via `max(completion, ready)`.
+        let t0 = trace_start();
         let _guard = self.port.acquire();
-        self.links[from.index()].recv(blocks)
+        let t1 = t0.map(|_| record::now());
+        let result = self.links[from.index()].recv(blocks);
+        if let (Some(t0), Some(t1), Ok((frame, _))) = (t0, t1, &result) {
+            trace_port_op(
+                ActivityKind::Recv,
+                from,
+                t0,
+                t1,
+                frame.tag.kind,
+                frame.run,
+                frame.payload.len(),
+            );
+        }
+        result
     }
 
     /// Broadcast the same frame to every worker, one link at a time under
@@ -85,9 +172,23 @@ impl MasterEndpoint {
         blocks: u64,
         timeout: std::time::Duration,
     ) -> Option<(Frame, f64)> {
+        let t0 = trace_start();
         let frame = self.links[from.index()].recv_wait(timeout)?;
         let _guard = self.port.acquire();
-        Some(self.links[from.index()].finish_recv(frame, blocks))
+        let t1 = t0.map(|_| record::now());
+        let (frame, cost) = self.links[from.index()].finish_recv(frame, blocks);
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            trace_port_op(
+                ActivityKind::Recv,
+                from,
+                t0,
+                t1,
+                frame.tag.kind,
+                frame.run,
+                frame.payload.len(),
+            );
+        }
+        Some((frame, cost))
     }
 
     /// Best-effort control send for teardown paths: identical port and
@@ -95,8 +196,16 @@ impl MasterEndpoint {
     /// worker already exited is ignored instead of panicking (session
     /// shutdown must not fail because a worker died first).
     pub fn send_lossy(&self, to: WorkerId, frame: Frame) {
+        let pre = trace_start().map(|t0| {
+            let link = &self.links[to.index()];
+            (t0, frame.tag.kind, link.effective_run(frame.run), frame.payload.len())
+        });
         let _guard = self.port.acquire();
+        let t1 = pre.as_ref().map(|_| record::now());
         self.links[to.index()].send_lossy(frame, 0);
+        if let (Some((t0, fk, run, len)), Some(t1)) = (pre, t1) {
+            trace_port_op(ActivityKind::Send, to, t0, t1, fk, run, len);
+        }
     }
 
     /// Failure-aware send: `Some(cost)` when the frame reached `to`'s
@@ -106,8 +215,17 @@ impl MasterEndpoint {
     /// fault-tolerant schedulers build on: a `None` marks the link dead
     /// (see [`MasterEndpoint::mark_dead`]) and the caller re-plans.
     pub fn try_send(&self, to: WorkerId, frame: Frame, blocks: u64) -> Option<f64> {
+        let pre = trace_start().map(|t0| {
+            let link = &self.links[to.index()];
+            (t0, frame.tag.kind, link.effective_run(frame.run), frame.payload.len())
+        });
         let _guard = self.port.acquire();
-        self.links[to.index()].try_send(frame, blocks)
+        let t1 = pre.as_ref().map(|_| record::now());
+        let cost = self.links[to.index()].try_send(frame, blocks);
+        if let (Some((t0, fk, run, len)), Some(t1), Some(_)) = (pre, t1, cost) {
+            trace_port_op(ActivityKind::Send, to, t0, t1, fk, run, len);
+        }
+        cost
     }
 
     /// Receive from `from` under the process-wide liveness deadline
@@ -201,9 +319,23 @@ impl MasterEndpoint {
         blocks: u64,
         timeout: Option<std::time::Duration>,
     ) -> Option<(Frame, f64)> {
+        let t0 = trace_start();
         let frame = self.links[from.index()].recv_wait_run(run, timeout)?;
         let _guard = self.port.acquire();
-        Some(self.links[from.index()].finish_recv(frame, blocks))
+        let t1 = t0.map(|_| record::now());
+        let (frame, cost) = self.links[from.index()].finish_recv(frame, blocks);
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            trace_port_op(
+                ActivityKind::Recv,
+                from,
+                t0,
+                t1,
+                frame.tag.kind,
+                frame.run,
+                frame.payload.len(),
+            );
+        }
+        Some((frame, cost))
     }
 
     /// Receive a frame of job generation `run` from `from` under the

@@ -281,6 +281,18 @@ impl MasterSide {
         self.dead.load(Ordering::Acquire)
     }
 
+    /// The generation an outbound frame stamped `stamped` will actually
+    /// carry on the wire: pre-stamped frames keep their generation, the
+    /// unstamped sentinel 0 adopts the link's exclusive-run generation.
+    /// Used by the trace recorder to tag send spans.
+    pub(crate) fn effective_run(&self, stamped: u32) -> u32 {
+        if stamped == 0 {
+            self.runs.legacy()
+        } else {
+            stamped
+        }
+    }
+
     /// Permanently declare the worker behind this link dead.
     pub fn mark_dead(&self) {
         self.dead.store(true, Ordering::Release);

@@ -39,6 +39,7 @@ use crate::transport::{
     self, RemoteLink, TransportListener, TransportMode, Welcome, SERVICE_INPROC,
 };
 use mwp_platform::{Platform, WorkerId, WorkerParams};
+use mwp_trace::{record, Activity, ActivityKind, Resource, SimTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
@@ -73,6 +74,11 @@ pub enum RunExit {
 #[must_use = "pass the epoch back to finish_run to close the run"]
 pub struct RunEpoch<'s> {
     blocks_at_start: u64,
+    /// The generation this run stamps its frames with.
+    run: u32,
+    /// Trace time of the `RUN_BEGIN` (recorded only while tracing is on):
+    /// `finish_run`/`abort_run` close the lifecycle span against it.
+    begun: Option<SimTime>,
     _exclusive: parking_lot::MutexGuard<'s, ()>,
 }
 
@@ -85,6 +91,8 @@ pub struct RunEpoch<'s> {
 #[derive(Debug)]
 pub struct JobRun {
     run: u32,
+    /// Trace time of the `RUN_BEGIN` (recorded only while tracing is on).
+    begun: Option<SimTime>,
 }
 
 impl JobRun {
@@ -92,6 +100,48 @@ impl JobRun {
     pub fn generation(&self) -> u32 {
         self.run
     }
+}
+
+/// Record the zero-length `RUN_BEGIN` lifecycle marker for generation
+/// `run` and return its timestamp (`None` while tracing is off — the
+/// off path is one atomic check).
+fn trace_run_begin(run: u32) -> Option<SimTime> {
+    if !record::enabled() {
+        return None;
+    }
+    let t = record::now();
+    record::record(
+        Activity::new(
+            Resource::Master,
+            ActivityKind::Run,
+            WorkerId(0),
+            t,
+            t,
+            "RUN_BEGIN".into(),
+        )
+        .with_run(run),
+    );
+    Some(t)
+}
+
+/// Close a run-lifecycle span opened at `begun` with its outcome label
+/// (`RUN_END` or `RUN_ABORT`), then flush the env sink — run boundaries
+/// are where streamed trace files grow and the recorder's memory resets.
+fn trace_run_close(run: u32, begun: Option<SimTime>, label: &'static str) {
+    if let Some(begun) = begun {
+        record::record(
+            Activity::new(
+                Resource::Master,
+                ActivityKind::Run,
+                WorkerId(0),
+                begun,
+                record::now(),
+                label.into(),
+            )
+            .with_run(run),
+        );
+    }
+    record::flush();
 }
 
 /// A star network whose worker threads are spawned once and reused for an
@@ -454,11 +504,12 @@ impl Session {
         // learn it.
         let run = self.next_run_gen();
         self.master.set_run(run);
+        let begun = trace_run_begin(run);
         let blocks_at_start = self.master.total_blocks();
         for idx in 0..enrolled {
             self.master.send_lossy(WorkerId(idx), run_begin_frame(param));
         }
-        RunEpoch { blocks_at_start, _exclusive: exclusive }
+        RunEpoch { blocks_at_start, run, begun, _exclusive: exclusive }
     }
 
     /// Close the run opened by the matching [`Session::begin_run`]: sends
@@ -473,6 +524,7 @@ impl Session {
         // Back to "no run in progress": anything still in flight from
         // this run arrives stale and is structurally rejected.
         self.master.set_run(0);
+        trace_run_close(epoch.run, epoch.begun, "RUN_END");
         moved
     }
 
@@ -490,6 +542,7 @@ impl Session {
         }
         let moved = self.master.total_blocks() - epoch.blocks_at_start;
         self.master.set_run(0);
+        trace_run_close(epoch.run, epoch.begun, "RUN_ABORT");
         moved
     }
 
@@ -538,12 +591,13 @@ impl Session {
         // carries the generation (that is how workers learn it), and the
         // first replies may race the registration otherwise.
         self.master.register_run(run);
+        let begun = trace_run_begin(run);
         for idx in 0..enrolled {
             let mut begin = run_begin_frame(param);
             begin.run = run;
             self.master.send_lossy(WorkerId(idx), begin);
         }
-        JobRun { run }
+        JobRun { run, begun }
     }
 
     /// Close the job run opened by the matching [`Session::begin_job`]:
@@ -558,6 +612,7 @@ impl Session {
             self.master.send_lossy(WorkerId(idx), end);
         }
         self.master.deregister_run(job.run);
+        trace_run_close(job.run, job.begun, "RUN_END");
     }
 
     /// Abort the job run opened by the matching [`Session::begin_job`]:
@@ -572,6 +627,7 @@ impl Session {
             self.master.send_lossy(WorkerId(idx), abort);
         }
         self.master.deregister_run(job.run);
+        trace_run_close(job.run, job.begun, "RUN_ABORT");
     }
 
     /// Total inbound data frames this session's links rejected for

@@ -236,14 +236,14 @@ impl Simulator {
                     let end = start + Seconds(blocks as f64 * wp.c);
                     port_busy += (end - start).value();
                     if self.record_trace {
-                        trace.push(Activity {
-                            resource: Resource::MasterPort,
-                            kind: ActivityKind::Send,
-                            peer: to,
+                        trace.push(Activity::new(
+                            Resource::MasterPort,
+                            ActivityKind::Send,
+                            to,
                             start,
                             end,
-                            label: label.clone(),
-                        });
+                            label.clone(),
+                        ));
                     }
                     blocks_sent += blocks;
                     let st = &mut workers[to.index()];
@@ -257,14 +257,14 @@ impl Simulator {
                         st.updates_assigned += spawn_updates;
                         st.ready = cend;
                         if self.record_trace {
-                            trace.push(Activity {
-                                resource: Resource::Worker(to),
-                                kind: ActivityKind::Compute,
-                                peer: to,
-                                start: cstart,
-                                end: cend,
+                            trace.push(Activity::new(
+                                Resource::Worker(to),
+                                ActivityKind::Compute,
+                                to,
+                                cstart,
+                                cend,
                                 label,
-                            });
+                            ));
                         }
                     }
                     send_free = end;
@@ -281,14 +281,14 @@ impl Simulator {
                     let end = start + Seconds(blocks as f64 * wp.c);
                     port_busy += blocks as f64 * wp.c;
                     if self.record_trace {
-                        trace.push(Activity {
-                            resource: Resource::MasterPort,
-                            kind: ActivityKind::Recv,
-                            peer: from,
+                        trace.push(Activity::new(
+                            Resource::MasterPort,
+                            ActivityKind::Recv,
+                            from,
                             start,
                             end,
                             label,
-                        });
+                        ));
                     }
                     blocks_received += blocks;
                     apply_mem(&mut workers[from.index()], from, mem_delta, end)?;

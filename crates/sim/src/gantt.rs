@@ -31,8 +31,11 @@ pub fn render_until(trace: &Trace, workers: usize, width: usize, horizon: f64) -
         let (row, ch) = match (a.resource, a.kind) {
             (Resource::MasterPort, ActivityKind::Send) => (0, 's'),
             (Resource::MasterPort, ActivityKind::Recv) => (0, 'r'),
-            (Resource::MasterPort, ActivityKind::Compute) => (0, '?'),
+            (Resource::MasterPort, _) => (0, '?'),
             (Resource::Worker(w), _) => (w.index() + 1, '#'),
+            // Runtime-only annotation tracks (lifecycle markers, waits,
+            // pack/kernel detail) don't render as occupancy rows.
+            (Resource::Master | Resource::WorkerDetail(_), _) => continue,
         };
         if row >= rows.len() {
             continue;
@@ -64,22 +67,22 @@ mod tests {
     #[test]
     fn renders_rows_for_master_and_workers() {
         let mut t = Trace::default();
-        t.push(Activity {
-            resource: Resource::MasterPort,
-            kind: ActivityKind::Send,
-            peer: WorkerId(0),
-            start: SimTime(0.0),
-            end: SimTime(5.0),
-            label: "a".into(),
-        });
-        t.push(Activity {
-            resource: Resource::Worker(WorkerId(0)),
-            kind: ActivityKind::Compute,
-            peer: WorkerId(0),
-            start: SimTime(5.0),
-            end: SimTime(10.0),
-            label: "a".into(),
-        });
+        t.push(Activity::new(
+            Resource::MasterPort,
+            ActivityKind::Send,
+            WorkerId(0),
+            SimTime(0.0),
+            SimTime(5.0),
+            "a".into(),
+        ));
+        t.push(Activity::new(
+            Resource::Worker(WorkerId(0)),
+            ActivityKind::Compute,
+            WorkerId(0),
+            SimTime(5.0),
+            SimTime(10.0),
+            "a".into(),
+        ));
         let g = render(&t, 2, 20);
         let lines: Vec<&str> = g.lines().collect();
         assert_eq!(lines.len(), 4); // M, P1, P2, axis
@@ -92,14 +95,14 @@ mod tests {
     #[test]
     fn recv_renders_differently_from_send() {
         let mut t = Trace::default();
-        t.push(Activity {
-            resource: Resource::MasterPort,
-            kind: ActivityKind::Recv,
-            peer: WorkerId(0),
-            start: SimTime(0.0),
-            end: SimTime(1.0),
-            label: "c".into(),
-        });
+        t.push(Activity::new(
+            Resource::MasterPort,
+            ActivityKind::Recv,
+            WorkerId(0),
+            SimTime(0.0),
+            SimTime(1.0),
+            "c".into(),
+        ));
         let g = render(&t, 1, 10);
         assert!(g.lines().next().unwrap().contains('r'));
     }

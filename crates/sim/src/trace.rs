@@ -1,185 +1,11 @@
 //! Execution traces: every port and worker activity with timestamps.
+//!
+//! The span schema lives in `mwp-trace` — one vocabulary shared by this
+//! simulator and the live runtime recorder, so predicted and measured
+//! timelines can be diffed span for span (see the `replay_diff` bench
+//! bin). This module re-exports it under the historical
+//! `mwp_sim::trace` path. The engine emits only the occupancy kinds
+//! (`Send`/`Recv`/`Compute`); the extra runtime kinds (`Wait`, `Pack`,
+//! `Kernel`, `Run`) appear in measured traces.
 
-use crate::time::SimTime;
-use mwp_platform::WorkerId;
-use serde::{Deserialize, Serialize};
-use std::borrow::Cow;
-
-/// The resource an [`Activity`] occupied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Resource {
-    /// The master's single network port.
-    MasterPort,
-    /// A worker's CPU.
-    Worker(WorkerId),
-}
-
-/// What kind of activity occupied the resource.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ActivityKind {
-    /// Master sending to a worker (port activity).
-    Send,
-    /// Master receiving from a worker (port activity).
-    Recv,
-    /// A worker computing (worker activity).
-    Compute,
-}
-
-/// One contiguous span of activity on a resource.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Activity {
-    /// Which resource was busy.
-    pub resource: Resource,
-    /// Send / Recv / Compute.
-    pub kind: ActivityKind,
-    /// The worker at the other end (for port ops) or the computing worker.
-    pub peer: WorkerId,
-    /// Start time.
-    pub start: SimTime,
-    /// End time.
-    pub end: SimTime,
-    /// Free-form label for Gantt rendering (e.g. `"B1,3"`, `"C chunk 2"`).
-    /// Borrowed for fixed strings; owned only for formatted detail.
-    pub label: Cow<'static, str>,
-}
-
-impl Activity {
-    /// Duration of this span.
-    pub fn duration(&self) -> f64 {
-        self.end.value() - self.start.value()
-    }
-}
-
-/// A complete execution trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct Trace {
-    /// All activities in the order they were recorded (port ops are in
-    /// start-time order; compute ops in enqueue order).
-    pub activities: Vec<Activity>,
-}
-
-impl Trace {
-    /// Record an activity.
-    pub fn push(&mut self, a: Activity) {
-        debug_assert!(a.end >= a.start, "activity ends before it starts");
-        self.activities.push(a);
-    }
-
-    /// All activities on a given resource, in recorded order.
-    pub fn on(&self, r: Resource) -> impl Iterator<Item = &Activity> {
-        self.activities.iter().filter(move |a| a.resource == r)
-    }
-
-    /// Total busy time of a resource.
-    pub fn busy_time(&self, r: Resource) -> f64 {
-        self.on(r).map(Activity::duration).sum()
-    }
-
-    /// End of the last activity (0 for an empty trace).
-    pub fn end_time(&self) -> SimTime {
-        self.activities
-            .iter()
-            .map(|a| a.end)
-            .max()
-            .unwrap_or(SimTime::ZERO)
-    }
-
-    /// Validate that no two activities overlap on the same resource —
-    /// the one-port property for the master, and sequential execution for
-    /// each worker. Returns the first violating pair if any.
-    pub fn check_no_overlap(&self) -> Result<(), Box<(Activity, Activity)>> {
-        use std::collections::HashMap;
-        let mut by_resource: HashMap<Resource, Vec<&Activity>> = HashMap::new();
-        for a in &self.activities {
-            by_resource.entry(a.resource).or_default().push(a);
-        }
-        for acts in by_resource.values_mut() {
-            acts.sort_by_key(|a| a.start);
-            for pair in acts.windows(2) {
-                // Zero-length gaps are fine; strict overlap is not.
-                if pair[1].start < pair[0].end {
-                    return Err(Box::new(((*pair[0]).clone(), (*pair[1]).clone())));
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Export as CSV rows `resource,kind,peer,start,end,label`.
-    pub fn to_csv(&self) -> String {
-        let mut out = String::from("resource,kind,peer,start,end,label\n");
-        for a in &self.activities {
-            let res = match a.resource {
-                Resource::MasterPort => "port".to_string(),
-                Resource::Worker(w) => format!("{w}"),
-            };
-            let kind = match a.kind {
-                ActivityKind::Send => "send",
-                ActivityKind::Recv => "recv",
-                ActivityKind::Compute => "compute",
-            };
-            out.push_str(&format!(
-                "{res},{kind},{},{:.6},{:.6},{}\n",
-                a.peer,
-                a.start.value(),
-                a.end.value(),
-                a.label
-            ));
-        }
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn act(res: Resource, start: f64, end: f64) -> Activity {
-        Activity {
-            resource: res,
-            kind: ActivityKind::Send,
-            peer: WorkerId(0),
-            start: SimTime(start),
-            end: SimTime(end),
-            label: "x".into(),
-        }
-    }
-
-    #[test]
-    fn busy_time_sums_durations() {
-        let mut t = Trace::default();
-        t.push(act(Resource::MasterPort, 0.0, 2.0));
-        t.push(act(Resource::MasterPort, 3.0, 4.0));
-        t.push(act(Resource::Worker(WorkerId(0)), 0.0, 10.0));
-        assert_eq!(t.busy_time(Resource::MasterPort), 3.0);
-        assert_eq!(t.busy_time(Resource::Worker(WorkerId(0))), 10.0);
-        assert_eq!(t.end_time(), SimTime(10.0));
-    }
-
-    #[test]
-    fn overlap_detected_per_resource() {
-        let mut t = Trace::default();
-        t.push(act(Resource::MasterPort, 0.0, 2.0));
-        t.push(act(Resource::Worker(WorkerId(1)), 1.0, 3.0)); // different resource: fine
-        assert!(t.check_no_overlap().is_ok());
-        t.push(act(Resource::MasterPort, 1.5, 2.5)); // overlaps first port op
-        assert!(t.check_no_overlap().is_err());
-    }
-
-    #[test]
-    fn adjacent_activities_allowed() {
-        let mut t = Trace::default();
-        t.push(act(Resource::MasterPort, 0.0, 2.0));
-        t.push(act(Resource::MasterPort, 2.0, 3.0));
-        assert!(t.check_no_overlap().is_ok());
-    }
-
-    #[test]
-    fn csv_has_header_and_rows() {
-        let mut t = Trace::default();
-        t.push(act(Resource::MasterPort, 0.0, 1.0));
-        let csv = t.to_csv();
-        assert!(csv.starts_with("resource,kind,peer,start,end,label\n"));
-        assert!(csv.contains("port,send,P1,0.000000,1.000000,x"));
-    }
-}
+pub use mwp_trace::schema::{Activity, ActivityKind, Resource, Trace};

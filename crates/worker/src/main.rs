@@ -39,6 +39,13 @@
 //! tag) exercise the integrity layer; the handshake-stage faults
 //! `badhello` / `badauth` corrupt the enrollment itself, exercising the
 //! master's rejection path.
+//!
+//! Setting `MWP_TRACE=json:<path>` turns on the span recorder in *this*
+//! process: the worker's compute, kernel, and pack spans stream to the
+//! given Chrome-trace file (flushed at every run close and at shutdown),
+//! giving the measured half of the sim-vs-real replay harness even when
+//! workers live in separate processes. Point each worker at its own
+//! path — the recorder appends, it does not merge writers.
 
 use mwp_msg::transport::{self, SERVICE_LU, SERVICE_MATRIX};
 use std::process::ExitCode;
